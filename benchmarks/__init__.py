@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Being a package lets the targets import shared helpers
+(``from benchmarks.conftest import run_once``) under both ``pytest
+benchmarks/`` and ``python -m pytest benchmarks/`` invocations.
+"""

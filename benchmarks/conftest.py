@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures and prints its
+content (tables / ASCII charts). The experiment scale is controlled by
+``REPRO_BENCH_SCALE`` (default ``tiny`` so the full harness finishes in
+minutes on a laptop CPU; set ``small`` for higher-fidelity runs).
+
+Pre-trained models are cached under ``.cache/pretrained``, so repeated
+benchmark invocations skip the training phase.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

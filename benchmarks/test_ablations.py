@@ -1,0 +1,64 @@
+"""Ablation benchmark: CQ's design choices (DESIGN.md §5).
+
+Compares, at a fixed 2.0-bit budget on VGG-small / SynthCIFAR-10:
+- max vs mean filter-score reduction (eq. 8),
+- KD refinement (eq. 10) vs plain cross-entropy,
+- class-based scores vs weight magnitude vs random ordering.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = run_once(benchmark, lambda: ablations.run(scale=scale))
+
+    print()
+    print(ablations.render(result))
+
+    # Every variant was forced to the same budget, so accuracies are
+    # directly comparable.
+    for name, avg_bits in result.avg_bits.items():
+        assert avg_bits <= result.budget + 1e-9, f"{name} exceeded the budget"
+
+    # The class-based score with KD is the paper's method; it should not
+    # be dominated by the random-ordering control (slack for noise).
+    assert result.accuracy["cq-max-kd"] >= result.accuracy["random-kd"] - 0.10, (
+        f"class-based scores underperform random ordering: "
+        f"cq={result.accuracy['cq-max-kd']:.3f} "
+        f"random={result.accuracy['random-kd']:.3f}"
+    )
+
+    # Eq. 5 is an approximation of eq. 4: the two scorers' arrangements
+    # should reach similar accuracy, while the Taylor side spends orders
+    # of magnitude less compute (backwards-per-class vs forwards-per-unit).
+    if "exact-eq4-kd" in result.accuracy:
+        gap = abs(result.accuracy["cq-max-kd"] - result.accuracy["exact-eq4-kd"])
+        assert gap <= 0.20, (
+            f"Taylor and exact scores disagree too much: "
+            f"taylor={result.accuracy['cq-max-kd']:.3f} "
+            f"exact={result.accuracy['exact-eq4-kd']:.3f}"
+        )
+        assert result.exact_forward_passes > 10 * result.taylor_backward_passes
+
+
+def test_search_efficiency(benchmark, scale):
+    """The paper's efficiency claim: scoring needs one backward pass per
+    class and the search needs forward passes only. Count the actual
+    evaluations of a full search."""
+    from repro.experiments import fig3
+
+    result = run_once(benchmark, lambda: fig3.run(scale=scale))
+    search = result.search
+    print()
+    print(
+        f"search evaluations (forward-only): {search.evaluations}; "
+        f"trace steps: {len(search.steps)}; "
+        f"final avg bits: {search.average_bits:.3f}"
+    )
+    # The search cost is bounded by (score range / step) positions per
+    # threshold, visited at most twice (prune + squeeze phases). The
+    # auto step is max_score / 40, i.e. <= ~41 positions per threshold.
+    config = result.config
+    positions = int(10.0 / config.step) + 2 if config.step else 42
+    assert search.evaluations <= 2 * config.max_bits * positions + 2

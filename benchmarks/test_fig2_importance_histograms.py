@@ -1,0 +1,36 @@
+"""Figure 2 benchmark: importance-score histograms of FP VGG-small.
+
+Regenerates the 8-panel histogram grid (weight layers 0-7) and checks
+the structural claims the paper makes about it: scores live on the
+[0, num_classes] axis and different layers have visibly different
+distributions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2
+
+
+def test_fig2_importance_histograms(benchmark, scale):
+    result = run_once(benchmark, lambda: fig2.run(scale=scale, bins=10))
+
+    print()
+    print(fig2.render(result))
+
+    # The paper plots exactly the first eight weight layers.
+    assert len(result.histograms) == 8
+
+    for name, (counts, edges) in result.histograms.items():
+        # Score axis is [0, M] (eq. 7 bounds gamma by the class count).
+        assert edges[0] == 0.0
+        assert edges[-1] == float(result.num_classes)
+        assert counts.sum() > 0, f"layer {name} has no filters scored"
+
+    # "Different layers have different distributions" (Sec. III-B):
+    # at least two layers must differ in where their mass sits.
+    means = []
+    for counts, edges in result.histograms.values():
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        means.append(float((counts * centers).sum() / counts.sum()))
+    assert np.ptp(means) > 0.5, f"layer score means all equal: {means}"

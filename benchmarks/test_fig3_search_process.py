@@ -1,0 +1,40 @@
+"""Figure 3 benchmark: the threshold-search process.
+
+Regenerates the search-snapshot sequence (VGG-small, target 2.0 average
+bits, T1=50%, R=0.8, search range {0..4}) and checks the structural
+properties of the search the paper describes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3_search_process(benchmark, scale):
+    result = run_once(benchmark, lambda: fig3.run(scale=scale))
+
+    print()
+    print(fig3.render(result))
+
+    search = result.search
+    # The search must reach the requested budget.
+    assert search.average_bits <= 2.0 + 1e-9
+
+    # Thresholds are sorted p_1 <= ... <= p_4 (they partition the score axis).
+    assert np.all(np.diff(search.thresholds) >= -1e-12)
+
+    # The trace alternates prune -> squeeze only (phase 2 never precedes 1).
+    phases = [step.phase for step in search.steps]
+    if "squeeze" in phases:
+        first_squeeze = phases.index("squeeze")
+        assert all(p == "squeeze" for p in phases[first_squeeze:])
+
+    # Targets decay by R=0.8 between consecutive thresholds.
+    for snap_a, snap_b in zip(result.snapshots, result.snapshots[1:]):
+        expected = snap_a.target_accuracy * (0.8 ** (snap_b.k - snap_a.k))
+        assert snap_b.target_accuracy == np.float64(expected)
+
+    # One accuracy evaluation per trace step -- the efficiency claim
+    # (inference-only search; no back-propagation in the loop).
+    assert search.evaluations >= len(search.steps)

@@ -1,0 +1,37 @@
+"""Granularity ablation benchmark: model vs layer vs filter level.
+
+Regenerates the paper's Sec. I argument as a measured table: at the same
+average weight-bit budget, finer-grained arrangements (layer-level,
+then CQ's filter-level) should match or beat coarser ones, and the
+hardware cost model quantifies what each arrangement buys.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import granularity
+
+
+def test_granularity_ladder(benchmark, scale):
+    result = run_once(benchmark, lambda: granularity.run(scale=scale))
+
+    print()
+    print(granularity.render(result))
+
+    # All three arrangements must respect the same budget.
+    for name, avg_bits in result.avg_bits.items():
+        assert avg_bits <= result.budget + 1e-9, f"{name} exceeded the budget"
+
+    # The paper's claim, with slack for the small-scale substrate: CQ is
+    # not dominated by the coarser granularities.
+    assert result.accuracy["cq"] >= result.accuracy["uniform"] - 0.10, (
+        f"filter-level CQ fell behind model-level uniform: "
+        f"cq={result.accuracy['cq']:.3f} uniform={result.accuracy['uniform']:.3f}"
+    )
+    assert result.accuracy["cq"] >= result.accuracy["layerwise"] - 0.10, (
+        f"filter-level CQ fell behind layer-level: "
+        f"cq={result.accuracy['cq']:.3f} layerwise={result.accuracy['layerwise']:.3f}"
+    )
+
+    # Every quantized arrangement saves energy and storage vs FP32.
+    for name, cost in result.cost.items():
+        assert cost.compression > 1.0, f"{name} did not compress"
+        assert cost.energy_saving > 1.0, f"{name} did not save energy"

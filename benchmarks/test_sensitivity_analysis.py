@@ -1,0 +1,53 @@
+"""Extension benchmark: layer-wise quantization sensitivity.
+
+Not a paper figure — a diagnostic the paper's approach implies: layers
+whose filters carry high class-importance scores should also be the
+ones most sensitive to aggressive uniform quantization. Prints the
+sensitivity table and checks the correlation qualitatively.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.importance import ImportanceScorer
+from repro.core.sensitivity import measure_layer_sensitivity, render_sensitivity
+from repro.experiments.presets import get_pretrained
+
+
+def test_layer_sensitivity(benchmark, scale):
+    def experiment():
+        model, dataset, _ = get_pretrained("vgg-small", "synth10", scale, 0)
+        sensitivity = measure_layer_sensitivity(
+            model,
+            dataset.val_images[:100],
+            dataset.val_labels[:100],
+            bit_widths=(1, 2, 4),
+        )
+        samples = min(10, dataset.config.val_per_class)
+        importance = ImportanceScorer(model).score(
+            dataset.class_batches(samples, split="val")
+        )
+        return sensitivity, importance
+
+    sensitivity, importance = run_once(benchmark, experiment)
+
+    print()
+    print(render_sensitivity(sensitivity))
+
+    # Coverage: every quantizable layer measured at every bit-width.
+    assert set(sensitivity.accuracy) == set(importance.filter_scores())
+    for per_bits in sensitivity.accuracy.values():
+        assert set(per_bits) == {1, 2, 4}
+
+    # 4-bit single-layer quantization must be nearly harmless.
+    for name in sensitivity.accuracy:
+        assert sensitivity.drop(name, 4) <= 0.15, (
+            f"layer {name} unexpectedly fragile at 4 bits: "
+            f"drop={sensitivity.drop(name, 4):.3f}"
+        )
+
+    # Sensitivity at 1 bit should exceed sensitivity at 4 bits on average
+    # (coarser quantization hurts more).
+    drops_1 = np.mean([sensitivity.drop(n, 1) for n in sensitivity.accuracy])
+    drops_4 = np.mean([sensitivity.drop(n, 4) for n in sensitivity.accuracy])
+    assert drops_1 >= drops_4 - 1e-9

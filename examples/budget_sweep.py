@@ -1,0 +1,61 @@
+"""Accuracy-vs-bit-budget sweep: the deployment trade-off curve.
+
+Extends the paper's three discrete budgets to a whole sweep, reusing
+one importance scoring across all budgets (the class-based scores are
+budget-independent). Prints the Pareto table and the deployed-size
+report at the chosen operating point.
+
+Run:
+    python examples/budget_sweep.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro.analysis.tradeoff import render_curve, sweep_budgets
+from repro.core import CQConfig
+from repro.experiments.presets import get_pretrained, get_scale
+from repro.quant.export import export_quantized_weights
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    args = parser.parse_args()
+
+    scale_cfg = get_scale(args.scale)
+    model, dataset, fp_accuracy = get_pretrained(
+        "vgg-small", "synth10", scale=args.scale, seed=0
+    )
+    print(f"pre-trained VGG-small, FP accuracy {fp_accuracy:.3f}\n")
+
+    config = CQConfig(
+        max_bits=4,
+        act_bits=None,  # weights-only, isolating the arrangement effect
+        samples_per_class=min(16, dataset.config.val_per_class),
+        refine_epochs=scale_cfg.refine_epochs,
+        refine_lr=scale_cfg.refine_lr,
+        refine_batch_size=scale_cfg.batch_size,
+    )
+    curve = sweep_budgets(
+        model, dataset, budgets=[1.0, 1.5, 2.0, 2.5, 3.0, 4.0], config=config
+    )
+    print(render_curve(curve))
+
+    # Deployed-size report at the 2.0-bit operating point.
+    from repro.core import ClassBasedQuantizer
+
+    cfg2 = CQConfig(
+        target_avg_bits=2.0,
+        max_bits=4,
+        act_bits=None,
+        samples_per_class=config.samples_per_class,
+        refine_epochs=0,
+    )
+    result = ClassBasedQuantizer(cfg2).quantize(model, dataset)
+    export = export_quantized_weights(result.model)
+    print()
+    print(export.size_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Which classes pay for quantization? Per-class accuracy analysis.
+
+CQ scores neurons by *how many classes* they serve, so the natural
+follow-up question after quantizing is whether the bit reduction hurt
+all classes evenly. This example quantizes an MLP at a tight budget and
+prints the per-class accuracy table together with the importance mass
+each class kept in the searched arrangement — classes whose critical
+filters were pruned are the ones expected to drop.
+
+Run:
+    python examples/classwise_analysis.py
+"""
+
+from repro import CQConfig, ClassBasedQuantizer, build_model, make_synth_cifar
+from repro.analysis import classwise_report, render_classwise
+from repro.data import ArrayDataset, DataLoader
+from repro.optim import SGD
+from repro.train import Trainer
+
+
+def main() -> None:
+    dataset = make_synth_cifar(num_classes=10, image_size=16, train_per_class=40, seed=0)
+    model = build_model("mlp", num_classes=10, image_size=16, seed=0)
+    loader = DataLoader(
+        ArrayDataset(dataset.train_images, dataset.train_labels),
+        batch_size=50,
+        shuffle=True,
+        seed=0,
+    )
+    Trainer(model, SGD(model.parameters(), lr=0.02, momentum=0.9)).fit(loader, epochs=15)
+
+    # A deliberately tight budget so class-specific damage is visible.
+    config = CQConfig(
+        target_avg_bits=1.5,
+        max_bits=4,
+        act_bits=2,
+        samples_per_class=10,
+        refine_epochs=6,
+        refine_lr=0.005,
+        refine_batch_size=50,
+    )
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+    print(
+        f"overall: FP -> quantized accuracy "
+        f"{result.accuracy_fp:.3f} -> {result.accuracy_after_refine:.3f} "
+        f"at {result.average_bits:.2f} average bits\n"
+    )
+
+    report = classwise_report(
+        model,
+        result.model,
+        dataset.test_images,
+        dataset.test_labels,
+        dataset.num_classes,
+        importance=result.importance,
+        bit_map=result.bit_map,
+    )
+    print(render_classwise(report))
+    print(
+        "\nInterpretation: 'kept importance' is the fraction of each "
+        "class's critical-pathway mass that survived at non-zero bits; "
+        "classes with low kept importance are expected to show the "
+        "larger drops."
+    )
+
+
+if __name__ == "__main__":
+    main()

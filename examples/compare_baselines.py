@@ -1,0 +1,86 @@
+"""CQ against APN, WrapNet and plain uniform quantization.
+
+Runs all four methods on the same pre-trained ResNet-20-x1 and
+SynthCIFAR-10 at a 2-bit weight budget, then prints a comparison table
+— a miniature of the paper's Figures 4 and 5.
+
+Run:
+    python examples/compare_baselines.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro.analysis import ascii_table
+from repro.baselines import (
+    WrapNetConfig,
+    train_apn,
+    train_uniform_baseline,
+    train_wrapnet,
+)
+from repro.core import CQConfig, ClassBasedQuantizer
+from repro.experiments.presets import get_pretrained, get_scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    args = parser.parse_args()
+
+    weight_bits, act_bits = 2, 4
+    scale_cfg = get_scale(args.scale)
+    model, dataset, fp_accuracy = get_pretrained(
+        "resnet20-x1", "synth10", scale=args.scale, seed=0
+    )
+    print(f"pre-trained ResNet-20-x1, FP accuracy {fp_accuracy:.3f}")
+
+    config = CQConfig(
+        target_avg_bits=float(weight_bits),
+        max_bits=4,
+        act_bits=act_bits,
+        step=0.25,
+        samples_per_class=min(16, dataset.config.val_per_class),
+        refine_epochs=scale_cfg.refine_epochs,
+        refine_lr=scale_cfg.refine_lr,
+        refine_batch_size=scale_cfg.batch_size,
+    )
+
+    cq = ClassBasedQuantizer(config).quantize(model, dataset)
+    apn = train_apn(
+        model,
+        dataset,
+        bit_widths=[weight_bits],
+        epochs=scale_cfg.apn_epochs,
+        lr=scale_cfg.baseline_lr,
+        batch_size=scale_cfg.batch_size,
+    )
+    wrapnet = train_wrapnet(
+        model,
+        dataset,
+        WrapNetConfig(weight_bits=weight_bits, act_bits=act_bits, acc_bits=12),
+        epochs=scale_cfg.wrapnet_epochs,
+        lr=scale_cfg.baseline_lr,
+        batch_size=scale_cfg.batch_size,
+    )
+    uniform = train_uniform_baseline(
+        model, dataset, weight_bits=weight_bits, act_bits=act_bits, config=config
+    )
+
+    rows = [
+        ["CQ (this paper)", cq.accuracy_after_refine, f"{cq.average_bits:.2f}"],
+        ["APN", apn.accuracy_by_bits[weight_bits], f"{weight_bits}.00"],
+        ["WrapNet", wrapnet.accuracy, f"{weight_bits}.00"],
+        ["uniform + KD", uniform.accuracy_after_refine, f"{weight_bits}.00"],
+        ["full precision", fp_accuracy, "32.00"],
+    ]
+    print()
+    print(
+        ascii_table(
+            ["method", "test accuracy", "avg weight bits"],
+            rows,
+            title=f"ResNet-20-x1 on SynthCIFAR-10 at {weight_bits}.0/{act_bits}.0 (W/A)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Applying CQ to your own model: the downstream-integration recipe.
+
+Shows what a user needs to plug a custom architecture into the CQ
+pipeline:
+
+1. build the model from ``repro.nn`` layers,
+2. either define ``tap_modules()`` on the model or pass an explicit
+   ``taps`` mapping (quantizable layer name -> module whose output
+   carries that layer's neuron activations),
+3. call :class:`ClassBasedQuantizer` as usual.
+
+Run:
+    python examples/custom_model_integration.py
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import CQConfig, ClassBasedQuantizer, make_synth_cifar
+from repro.data import ArrayDataset, DataLoader
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU
+from repro.optim import SGD
+from repro.train import Trainer
+
+
+class MyConvNet(Module):
+    """A custom architecture: three convs and two FC layers."""
+
+    def __init__(self, num_classes: int = 10, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = Conv2d(3, 8, 3, padding=1, rng=rng)       # first layer: not quantized
+        self.stem_bn = BatchNorm2d(8)
+        self.stem_relu = ReLU()
+        self.conv_a = Conv2d(8, 16, 3, padding=1, rng=rng)    # quantized
+        self.relu_a = ReLU()
+        self.pool_a = MaxPool2d(2)
+        self.conv_b = Conv2d(16, 16, 3, padding=1, rng=rng)   # quantized
+        self.relu_b = ReLU()
+        self.pool_b = MaxPool2d(2)
+        self.flatten = Flatten()
+        self.fc_hidden = Linear(16 * 4 * 4, 32, rng=rng)      # quantized
+        self.relu_fc = ReLU()
+        self.head = Linear(32, num_classes, rng=rng)          # output: not quantized
+
+    def forward(self, x):
+        x = self.stem_relu(self.stem_bn(self.stem(x)))
+        x = self.pool_a(self.relu_a(self.conv_a(x)))
+        x = self.pool_b(self.relu_b(self.conv_b(x)))
+        x = self.flatten(x)
+        x = self.relu_fc(self.fc_hidden(x))
+        return self.head(x)
+
+    def tap_modules(self):
+        """Map each quantizable weight layer to its activation module."""
+        return OrderedDict(
+            [
+                ("conv_a", self.relu_a),
+                ("conv_b", self.relu_b),
+                ("fc_hidden", self.relu_fc),
+            ]
+        )
+
+
+def main() -> None:
+    dataset = make_synth_cifar(num_classes=10, image_size=16, train_per_class=40, seed=1)
+    model = MyConvNet(num_classes=10)
+
+    train_loader = DataLoader(
+        ArrayDataset(dataset.train_images, dataset.train_labels),
+        batch_size=50,
+        shuffle=True,
+        seed=1,
+    )
+    test_loader = DataLoader(
+        ArrayDataset(dataset.test_images, dataset.test_labels), batch_size=100
+    )
+    trainer = Trainer(model, SGD(model.parameters(), lr=0.02, momentum=0.9))
+    history = trainer.fit(train_loader, test_loader, epochs=10)
+    print(f"FP accuracy: {history.final_val_accuracy:.3f}")
+
+    config = CQConfig(
+        target_avg_bits=2.0,
+        act_bits=2,
+        step=0.25,
+        samples_per_class=10,
+        refine_epochs=5,
+        refine_lr=0.005,
+        refine_batch_size=50,
+    )
+    # taps are discovered via model.tap_modules(); an explicit mapping
+    # could be passed instead: quantizer.quantize(model, dataset, taps={...})
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+    print(f"average bits: {result.average_bits:.3f}")
+    print(f"quantized accuracy (refined): {result.accuracy_after_refine:.3f}")
+    for name in result.bit_map.layers():
+        bits = result.bit_map[name]
+        print(f"  {name}: bits min={bits.min()} mean={bits.mean():.2f} max={bits.max()}")
+
+
+if __name__ == "__main__":
+    main()

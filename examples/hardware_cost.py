@@ -1,0 +1,138 @@
+"""Hardware cost of a CQ arrangement: storage, energy, latency, Pareto.
+
+The paper motivates quantization with the storage and MAC cost of DNNs
+on resource-constrained platforms (Sec. I). This example quantifies that
+motivation with the :mod:`repro.hw` cost models:
+
+1. pre-train VGG-small on SynthCIFAR-10 and run CQ at several budgets,
+2. profile the network (MACs, params) and cost each arrangement on a
+   bit-scalable accelerator model (energy + roofline latency),
+3. compare CQ's skewed per-filter arrangement against model-level
+   uniform quantization at the same average bit-width,
+4. sweep budgets and report the accuracy-vs-energy Pareto frontier.
+
+Run:
+    python examples/hardware_cost.py
+"""
+
+from repro import CQConfig, ClassBasedQuantizer, build_model, make_synth_cifar
+from repro.data import ArrayDataset, DataLoader
+from repro.hw import (
+    DesignPoint,
+    comparison_table,
+    cost_summary,
+    knee_point,
+    layer_cost_table,
+    pareto_front,
+    profile_model,
+)
+from repro.optim import SGD, MultiStepLR
+from repro.quant.bitmap import BitWidthMap
+from repro.train import Trainer
+
+
+def pretrain(dataset, image_size: int):
+    model = build_model("vgg-small", num_classes=10, image_size=image_size, seed=0)
+    loader = DataLoader(
+        ArrayDataset(dataset.train_images, dataset.train_labels),
+        batch_size=50,
+        shuffle=True,
+        seed=0,
+    )
+    optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9, weight_decay=5e-4)
+    trainer = Trainer(
+        model, optimizer, scheduler=MultiStepLR(optimizer, milestones=[10, 14])
+    )
+    history = trainer.fit(loader, epochs=16)
+    print(f"full-precision train accuracy: {history.train[-1].accuracy:.3f}")
+    return model
+
+
+def uniform_map_like(bit_map: BitWidthMap, bits: int) -> BitWidthMap:
+    """Model-level uniform arrangement over the same layers."""
+    import numpy as np
+
+    return BitWidthMap(
+        {name: np.full(len(bit_map[name]), bits) for name in bit_map},
+        {name: bit_map.weights_per_filter(name) for name in bit_map},
+    )
+
+
+def main() -> None:
+    image_size = 16
+    dataset = make_synth_cifar(
+        num_classes=10, image_size=image_size, train_per_class=40, seed=0
+    )
+    model = pretrain(dataset, image_size)
+    profile = profile_model(model, (3, image_size, image_size))
+    print(f"profiled: {profile.total_macs:,} MACs, {profile.total_params:,} params\n")
+
+    # CQ at a 2.0-bit weight budget with 2-bit activations ---------------
+    config = CQConfig(
+        target_avg_bits=2.0,
+        max_bits=4,
+        act_bits=2,
+        samples_per_class=10,
+        refine_epochs=6,
+        refine_lr=0.005,
+        refine_batch_size=50,
+    )
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+    print(f"CQ accuracy after refine: {result.accuracy_after_refine:.3f}")
+    print(layer_cost_table(profile, result.bit_map, act_bits=2))
+    print()
+
+    # CQ vs uniform at the same average bit-width -------------------------
+    summaries = [
+        cost_summary(profile, result.bit_map, act_bits=2, label="CQ 2.0/2.0"),
+        cost_summary(
+            profile, uniform_map_like(result.bit_map, 2), act_bits=2,
+            label="uniform 2/2",
+        ),
+        cost_summary(
+            profile, uniform_map_like(result.bit_map, 4), act_bits=4,
+            label="uniform 4/4",
+        ),
+    ]
+    print(comparison_table(summaries))
+    print()
+
+    # Budget sweep -> accuracy-vs-energy Pareto ---------------------------
+    points = []
+    for budget in (1.5, 2.0, 3.0, 4.0):
+        sweep_config = CQConfig(
+            target_avg_bits=budget,
+            max_bits=4,
+            act_bits=max(2, int(round(budget))),
+            samples_per_class=10,
+            refine_epochs=4,
+            refine_lr=0.005,
+            refine_batch_size=50,
+        )
+        sweep = ClassBasedQuantizer(sweep_config).quantize(model, dataset)
+        summary = cost_summary(
+            profile, sweep.bit_map, act_bits=sweep_config.act_bits,
+            label=f"B={budget}",
+        )
+        points.append(
+            DesignPoint(
+                accuracy=sweep.accuracy_after_refine,
+                cost=summary.energy_uj,
+                label=f"B={budget}",
+                payload=sweep.bit_map,
+            )
+        )
+        print(
+            f"B={budget}: accuracy {sweep.accuracy_after_refine:.3f}, "
+            f"energy {summary.energy_uj:.2f} uJ, x{summary.compression:.1f} smaller"
+        )
+
+    front = pareto_front(points)
+    knee = knee_point(points)
+    print(f"\nPareto frontier: {[p.label for p in front]}")
+    if knee is not None:
+        print(f"knee point: {knee.label} (accuracy {knee.accuracy:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: class-based quantization of a small network in ~30 seconds.
+
+Pipeline walk-through on an MLP and SynthCIFAR-10:
+
+1. generate data and pre-train a full-precision model,
+2. run the CQ pipeline (importance scores -> bit-width search ->
+   quantization -> knowledge-distillation refinement),
+3. inspect the result: accuracy, average bit-width, bit histogram.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CQConfig, ClassBasedQuantizer, build_model, make_synth_cifar
+from repro.data import ArrayDataset, DataLoader
+from repro.optim import SGD, MultiStepLR
+from repro.train import Trainer
+
+
+def main() -> None:
+    # 1. Data and a pre-trained full-precision model -------------------
+    dataset = make_synth_cifar(
+        num_classes=10, image_size=16, train_per_class=40, seed=0
+    )
+    model = build_model("mlp", num_classes=10, image_size=16, seed=0)
+
+    train_loader = DataLoader(
+        ArrayDataset(dataset.train_images, dataset.train_labels),
+        batch_size=50,
+        shuffle=True,
+        seed=0,
+    )
+    test_loader = DataLoader(
+        ArrayDataset(dataset.test_images, dataset.test_labels), batch_size=100
+    )
+    optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9, weight_decay=1e-4)
+    trainer = Trainer(
+        model, optimizer, scheduler=MultiStepLR(optimizer, milestones=[10, 14])
+    )
+    history = trainer.fit(train_loader, test_loader, epochs=16)
+    print(f"full-precision test accuracy: {history.final_val_accuracy:.3f}")
+
+    # 2. Class-based quantization to an average of 2.0 weight bits ------
+    config = CQConfig(
+        target_avg_bits=2.0,  # the budget B
+        max_bits=4,           # search range {0..4}
+        act_bits=2,           # activations at 2 bits (the 2.0/2.0 setting)
+        step=0.25,            # threshold step D
+        samples_per_class=10,
+        refine_epochs=8,
+        refine_lr=0.005,
+        refine_batch_size=50,
+    )
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+
+    # 3. Inspect ---------------------------------------------------------
+    print(f"average weight bits:     {result.average_bits:.3f} (budget 2.0)")
+    print(f"accuracy FP teacher:     {result.accuracy_fp:.3f}")
+    print(f"accuracy after quantize: {result.accuracy_before_refine:.3f}")
+    print(f"accuracy after refine:   {result.accuracy_after_refine:.3f}")
+    print(f"search thresholds:       {result.search.thresholds}")
+    print(f"weights per bit-width:   {result.bit_map.histogram(config.max_bits)}")
+
+
+if __name__ == "__main__":
+    main()

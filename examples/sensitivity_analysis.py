@@ -1,0 +1,73 @@
+"""Layer sensitivity vs class-based importance: two views of one model.
+
+Runs (a) the classic one-layer-at-a-time quantization sensitivity sweep
+and (b) CQ's class-based importance scoring on the same pre-trained
+VGG-small, then reports how strongly the two signals agree per layer —
+the diagnostic behind choosing a mixed-precision criterion.
+
+Run:
+    python examples/sensitivity_analysis.py [--scale tiny|small]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core.importance import ImportanceScorer
+from repro.core.sensitivity import measure_layer_sensitivity, render_sensitivity
+from repro.experiments.presets import get_pretrained
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    args = parser.parse_args()
+
+    model, dataset, fp_accuracy = get_pretrained(
+        "vgg-small", "synth10", scale=args.scale, seed=0
+    )
+    print(f"pre-trained VGG-small, FP accuracy {fp_accuracy:.3f}\n")
+
+    sensitivity = measure_layer_sensitivity(
+        model,
+        dataset.val_images[:100],
+        dataset.val_labels[:100],
+        bit_widths=(1, 2, 4),
+    )
+    print(render_sensitivity(sensitivity))
+    print()
+
+    samples = min(10, dataset.config.val_per_class)
+    importance = ImportanceScorer(model).score(
+        dataset.class_batches(samples, split="val")
+    )
+    filter_scores = importance.filter_scores()
+
+    rows = []
+    for name in sensitivity.accuracy:
+        scores = filter_scores[name]
+        rows.append(
+            [
+                name,
+                float(scores.mean()),
+                float((scores < 1.0).mean()),  # fraction serving <1 class
+                sensitivity.drop(name, 1),
+            ]
+        )
+    print(
+        ascii_table(
+            ["layer", "mean class score", "low-score fraction", "1-bit drop"],
+            rows,
+            title="class-based importance vs quantization sensitivity",
+        )
+    )
+    print(
+        "\nreading: layers with many low-score filters tolerate aggressive\n"
+        "quantization (small 1-bit drop) — the redundancy CQ's search converts\n"
+        "into bit savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

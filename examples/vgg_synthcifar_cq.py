@@ -1,0 +1,68 @@
+"""The paper's headline workload: VGG-small quantized to 2.0/2.0 bits.
+
+Reproduces the Figure 2 / Figure 6 analysis path on SynthCIFAR-10:
+trains (or loads a cached) VGG-small, prints the per-layer importance
+histograms, runs the threshold search, prints the resulting bit-width
+arrangement, then refines and reports accuracy.
+
+Run:
+    python examples/vgg_synthcifar_cq.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro.analysis import ascii_histogram
+from repro.analysis.histograms import score_histograms
+from repro.core import CQConfig, ClassBasedQuantizer
+from repro.experiments.presets import get_pretrained, get_scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    parser.add_argument("--budget", type=float, default=2.0)
+    args = parser.parse_args()
+
+    model, dataset, fp_accuracy = get_pretrained(
+        "vgg-small", "synth10", scale=args.scale, seed=0
+    )
+    print(f"pre-trained VGG-small, FP test accuracy {fp_accuracy:.3f}\n")
+
+    scale_cfg = get_scale(args.scale)
+    config = CQConfig(
+        target_avg_bits=args.budget,
+        max_bits=4,
+        act_bits=int(args.budget),
+        step=0.25,
+        samples_per_class=min(16, dataset.config.val_per_class),
+        refine_epochs=scale_cfg.refine_epochs,
+        refine_lr=scale_cfg.refine_lr,
+        refine_batch_size=scale_cfg.batch_size,
+    )
+    quantizer = ClassBasedQuantizer(config)
+
+    # Figure-2 style analysis: importance histograms per layer.
+    importance = quantizer.compute_importance(model, dataset)
+    print("importance-score histograms (number of filters per score bin):")
+    for name, (counts, edges) in score_histograms(importance, bins=10).items():
+        print()
+        print(ascii_histogram(counts, edges, width=30, title=f"layer {name}"))
+
+    # Search + quantize + refine.
+    result = quantizer.quantize(model, dataset)
+    print()
+    print(f"thresholds: {result.search.thresholds}")
+    print(f"average weight bits: {result.average_bits:.3f} (budget {args.budget})")
+    print("filters per bit-width, per layer:")
+    for name in result.bit_map.layers():
+        bits = result.bit_map[name]
+        summary = {b: int((bits == b).sum()) for b in sorted(set(bits.tolist()))}
+        print(f"  {name}: {summary}")
+    print()
+    print(f"accuracy FP teacher:     {result.accuracy_fp:.3f}")
+    print(f"accuracy after quantize: {result.accuracy_before_refine:.3f}")
+    print(f"accuracy after refine:   {result.accuracy_after_refine:.3f}")
+
+
+if __name__ == "__main__":
+    main()

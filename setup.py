@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Configuration lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` path.
+"""
+
+from setuptools import setup
+
+setup()

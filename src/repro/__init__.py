@@ -1,0 +1,47 @@
+"""repro — Class-based Quantization for Neural Networks (DATE 2023).
+
+A complete, self-contained reproduction of Sun et al., "Class-based
+Quantization for Neural Networks" built on a from-scratch numpy deep
+learning stack (autograd, layers, optimisers), with the CQ pipeline,
+the APN / WrapNet baselines and the full benchmark harness.
+
+Quickstart
+----------
+>>> from repro import CQConfig, ClassBasedQuantizer, build_model, make_synth_cifar
+>>> dataset = make_synth_cifar(num_classes=10)
+>>> model = build_model("vgg-small", num_classes=10, seed=0)
+>>> # ... pre-train the model, then:
+>>> result = ClassBasedQuantizer(CQConfig(target_avg_bits=2.0)).quantize(model, dataset)
+"""
+
+from repro.core import (
+    BitWidthSearch,
+    CQConfig,
+    CQResult,
+    ClassBasedQuantizer,
+    ImportanceResult,
+    ImportanceScorer,
+    SearchResult,
+)
+from repro.data import make_synth_cifar
+from repro.models import available_models, build_model
+from repro.quant import BitWidthMap, UniformQuantizer, quantize_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitWidthMap",
+    "BitWidthSearch",
+    "CQConfig",
+    "CQResult",
+    "ClassBasedQuantizer",
+    "ImportanceResult",
+    "ImportanceScorer",
+    "SearchResult",
+    "UniformQuantizer",
+    "available_models",
+    "build_model",
+    "make_synth_cifar",
+    "quantize_model",
+    "__version__",
+]

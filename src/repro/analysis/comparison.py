@@ -1,0 +1,101 @@
+"""Comparing importance criteria and bit-width arrangements.
+
+Quantifies how much two scoring strategies (e.g. class-based vs weight
+magnitude) agree — rank correlation of the scores and overlap of the
+resulting bit assignments — the analysis behind the ablation discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+try:
+    from scipy.stats import kendalltau, spearmanr
+except ImportError:  # pragma: no cover - scipy is an install requirement
+    kendalltau = spearmanr = None
+
+from repro.quant.bitmap import BitWidthMap
+
+
+def score_rank_correlation(
+    scores_a: Mapping[str, np.ndarray], scores_b: Mapping[str, np.ndarray]
+) -> Dict[str, float]:
+    """Per-layer Spearman rank correlation between two score assignments."""
+    if set(scores_a) != set(scores_b):
+        raise ValueError(
+            f"layer sets differ: {sorted(scores_a)} vs {sorted(scores_b)}"
+        )
+    result = {}
+    for name in scores_a:
+        a = np.asarray(scores_a[name], dtype=np.float64)
+        b = np.asarray(scores_b[name], dtype=np.float64)
+        if a.shape != b.shape:
+            raise ValueError(f"shape mismatch in layer {name!r}")
+        if a.size < 2 or np.ptp(a) == 0 or np.ptp(b) == 0:
+            result[name] = float("nan")
+            continue
+        correlation, _pvalue = spearmanr(a, b)
+        result[name] = float(correlation)
+    return result
+
+
+def score_kendall_tau(
+    scores_a: Mapping[str, np.ndarray], scores_b: Mapping[str, np.ndarray]
+) -> Dict[str, float]:
+    """Per-layer Kendall tau between two score assignments."""
+    if set(scores_a) != set(scores_b):
+        raise ValueError("layer sets differ")
+    result = {}
+    for name in scores_a:
+        a, b = np.asarray(scores_a[name]), np.asarray(scores_b[name])
+        if a.size < 2 or np.ptp(a) == 0 or np.ptp(b) == 0:
+            result[name] = float("nan")
+            continue
+        tau, _pvalue = kendalltau(a, b)
+        result[name] = float(tau)
+    return result
+
+
+def arrangement_agreement(map_a: BitWidthMap, map_b: BitWidthMap) -> float:
+    """Fraction of filters assigned the same bit-width by two arrangements."""
+    layers = set(map_a.layers())
+    if layers != set(map_b.layers()):
+        raise ValueError("arrangements cover different layers")
+    same = 0
+    total = 0
+    for name in layers:
+        a, b = map_a[name], map_b[name]
+        if a.shape != b.shape:
+            raise ValueError(f"filter counts differ in layer {name!r}")
+        same += int((a == b).sum())
+        total += len(a)
+    return same / total if total else float("nan")
+
+
+def pruning_overlap(map_a: BitWidthMap, map_b: BitWidthMap) -> float:
+    """Jaccard overlap of the pruned (0-bit) filter sets."""
+    if set(map_a.layers()) != set(map_b.layers()):
+        raise ValueError("arrangements cover different layers")
+    intersection = 0
+    union = 0
+    for name in map_a.layers():
+        pruned_a = map_a[name] == 0
+        pruned_b = map_b[name] == 0
+        intersection += int((pruned_a & pruned_b).sum())
+        union += int((pruned_a | pruned_b).sum())
+    return intersection / union if union else float("nan")
+
+
+def bit_histogram_distance(map_a: BitWidthMap, map_b: BitWidthMap) -> float:
+    """Total-variation distance between the two weight-bit distributions."""
+    max_bits = max(map_a.max_bits(), map_b.max_bits())
+    hist_a = map_a.histogram(max_bits)
+    hist_b = map_b.histogram(max_bits)
+    total_a = sum(hist_a.values())
+    total_b = sum(hist_b.values())
+    distance = 0.0
+    for bits in range(max_bits + 1):
+        distance += abs(hist_a.get(bits, 0) / total_a - hist_b.get(bits, 0) / total_b)
+    return distance / 2.0

@@ -1,0 +1,157 @@
+"""Accuracy-versus-bit-budget trade-off sweeps (extension experiment).
+
+The paper evaluates three discrete budgets (2.0/3.0/4.0); this utility
+sweeps a whole budget range with a shared importance scoring (computed
+once — the scores do not depend on the budget), giving the
+accuracy/size Pareto curve a deployment engineer actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.render import ascii_table
+from repro.core.config import CQConfig
+from repro.core.importance import ImportanceResult, ImportanceScorer
+from repro.core.pipeline import ClassBasedQuantizer
+from repro.core.search import BitWidthSearch, make_weight_quant_evaluator
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.synthetic import SynthCIFAR
+from repro.nn.module import Module
+from repro.train.trainer import evaluate_model
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of the accuracy/size curve."""
+
+    budget: float
+    avg_bits: float
+    accuracy_before_refine: float
+    accuracy_after_refine: float
+    pruned_fraction: float
+
+
+@dataclass
+class TradeoffCurve:
+    points: List[TradeoffPoint] = field(default_factory=list)
+    fp_accuracy: float = float("nan")
+
+    def budgets(self) -> np.ndarray:
+        return np.array([point.budget for point in self.points])
+
+    def accuracies(self) -> np.ndarray:
+        return np.array([point.accuracy_after_refine for point in self.points])
+
+    def design_points(self) -> list:
+        """The curve as :class:`repro.hw.DesignPoint` objects.
+
+        Cost is the achieved average bit-width (the storage proxy), so
+        the sweep plugs directly into :func:`repro.hw.pareto_front` /
+        :func:`repro.hw.knee_point`.
+        """
+        from repro.hw.pareto import DesignPoint
+
+        return [
+            DesignPoint(
+                accuracy=point.accuracy_after_refine,
+                cost=point.avg_bits,
+                label=f"B={point.budget:g}",
+                payload=point,
+            )
+            for point in self.points
+        ]
+
+
+def sweep_budgets(
+    model: Module,
+    dataset: SynthCIFAR,
+    budgets: Sequence[float],
+    config: Optional[CQConfig] = None,
+    refine: bool = True,
+) -> TradeoffCurve:
+    """Run the CQ search (and optionally refinement) at several budgets.
+
+    Importance scores are computed once and shared across budgets: the
+    class-based criterion is budget-independent (Sec. III-A), so only
+    the search and refinement repeat.
+    """
+    base = config if config is not None else CQConfig()
+    quantizer = ClassBasedQuantizer(base)
+    importance = quantizer.compute_importance(model, dataset)
+
+    test_loader = DataLoader(
+        ArrayDataset(dataset.test_images, dataset.test_labels),
+        batch_size=base.refine_batch_size,
+    )
+    fp_accuracy = evaluate_model(model, test_loader).accuracy
+
+    curve = TradeoffCurve(fp_accuracy=fp_accuracy)
+    for budget in sorted(budgets):
+        cfg = CQConfig(
+            target_avg_bits=float(budget),
+            max_bits=max(base.max_bits, int(np.ceil(budget)) + 1),
+            act_bits=base.act_bits,
+            step=base.step,
+            t1=base.t1,
+            t1_relative=base.t1_relative,
+            decay=base.decay,
+            eps=base.eps,
+            samples_per_class=base.samples_per_class,
+            search_batch_size=base.search_batch_size,
+            alpha=base.alpha,
+            temperature=base.temperature,
+            refine_epochs=base.refine_epochs if refine else 0,
+            refine_lr=base.refine_lr,
+            refine_momentum=base.refine_momentum,
+            refine_weight_decay=base.refine_weight_decay,
+            refine_batch_size=base.refine_batch_size,
+            seed=base.seed,
+        )
+        budget_quantizer = ClassBasedQuantizer(cfg)
+        search = budget_quantizer.search_bit_widths(model, dataset, importance)
+        student = budget_quantizer.build_quantized_model(model, dataset, search.bit_map)
+        before = evaluate_model(student, test_loader).accuracy
+        if refine and cfg.refine_epochs > 0:
+            from repro.core.distill import refine_quantized_model
+
+            refine_quantized_model(
+                student,
+                teacher=model,
+                train_dataset=ArrayDataset(dataset.train_images, dataset.train_labels),
+                val_dataset=None,
+                config=cfg,
+            )
+        after = evaluate_model(student, test_loader).accuracy
+        curve.points.append(
+            TradeoffPoint(
+                budget=float(budget),
+                avg_bits=search.average_bits,
+                accuracy_before_refine=before,
+                accuracy_after_refine=after,
+                pruned_fraction=search.bit_map.pruned_fraction(),
+            )
+        )
+    return curve
+
+
+def render_curve(curve: TradeoffCurve) -> str:
+    rows = [
+        [
+            point.budget,
+            point.avg_bits,
+            point.accuracy_before_refine,
+            point.accuracy_after_refine,
+            point.pruned_fraction,
+        ]
+        for point in curve.points
+    ]
+    table = ascii_table(
+        ["budget B", "avg bits", "acc (raw)", "acc (refined)", "pruned frac"],
+        rows,
+        title="Accuracy vs average-bit budget",
+    )
+    return table + f"\nFP reference accuracy: {curve.fp_accuracy:.4f}"

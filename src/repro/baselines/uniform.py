@@ -1,0 +1,71 @@
+"""Plain model-level uniform quantization baseline.
+
+All filters of every quantizable layer share one bit-width (the
+granularity of [10]-[13]); optional KD refinement. Serves as the
+simplest comparator and as the anchor for the "class-based scores vs
+uniform" ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import CQConfig
+from repro.core.distill import refine_quantized_model
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.module import Module
+from repro.quant.bn import reestimate_batchnorm_stats
+from repro.quant.qmodules import calibrate_activations, quantize_model
+from repro.train.trainer import History, evaluate_model
+from repro.utils.misc import clone_module
+
+
+@dataclass
+class UniformBaselineResult:
+    model: Module
+    accuracy_before_refine: float
+    accuracy_after_refine: float
+    refine_history: History
+
+
+def train_uniform_baseline(
+    model: Module,
+    dataset,
+    weight_bits: int,
+    act_bits: Optional[int] = None,
+    config: Optional[CQConfig] = None,
+    use_distillation: bool = True,
+) -> UniformBaselineResult:
+    """Quantize ``model`` uniformly and (optionally) refine with KD.
+
+    Uses the same refining recipe as CQ so that accuracy differences
+    are attributable to the bit-width *arrangement* only.
+    """
+    cfg = config if config is not None else CQConfig()
+    student = clone_module(model)
+    quantize_model(student, max_bits=max(weight_bits, 1), act_bits=act_bits)
+    for module in student.modules():
+        if hasattr(module, "set_bits") and hasattr(module, "num_filters"):
+            module.set_bits(np.full(module.num_filters, weight_bits, dtype=np.int64))
+    calibration = dataset.train_images[: cfg.search_batch_size]
+    if act_bits is not None:
+        calibrate_activations(student, [calibration])
+    reestimate_batchnorm_stats(student, [calibration], passes=10)
+
+    test_loader = DataLoader(
+        ArrayDataset(dataset.test_images, dataset.test_labels),
+        batch_size=cfg.refine_batch_size,
+    )
+    before = evaluate_model(student, test_loader).accuracy
+    history = refine_quantized_model(
+        student,
+        teacher=model if use_distillation else None,
+        train_dataset=ArrayDataset(dataset.train_images, dataset.train_labels),
+        val_dataset=ArrayDataset(dataset.val_images, dataset.val_labels),
+        config=cfg,
+    ) if cfg.refine_epochs > 0 else History()
+    after = evaluate_model(student, test_loader).accuracy
+    return UniformBaselineResult(student, before, after, history)

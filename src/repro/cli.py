@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+quantize
+    Pre-train a model on a synthetic dataset and run the CQ pipeline,
+    printing the full report (and optionally saving a checkpoint).
+figure
+    Regenerate one of the paper's figures (2, 3, 4, 5, 6, 7,
+    ``ablations`` or ``granularity``) and print it.
+cost
+    Run the CQ pipeline and print the hardware cost sheet of the
+    resulting arrangement (storage / energy / latency vs FP32 and vs
+    uniform quantization at the same average bits).
+models / datasets
+    List the registered model architectures / dataset presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import CQConfig
+from repro.core.pipeline import ClassBasedQuantizer
+from repro.core.report import summarize
+from repro.experiments.presets import SCALES, get_pretrained
+from repro.models.registry import available_models
+from repro.utils.checkpoint import save_checkpoint
+
+_FIGURES = ("2", "3", "4", "5", "6", "7", "ablations", "granularity")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Class-based Quantization for Neural Networks (DATE 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quantize = sub.add_parser("quantize", help="run the CQ pipeline on a preset model")
+    quantize.add_argument("--model", default="vgg-small", choices=available_models())
+    quantize.add_argument("--dataset", default="synth10", choices=("synth10", "synth100"))
+    quantize.add_argument("--scale", default="tiny", choices=tuple(SCALES))
+    quantize.add_argument("--bits", type=float, default=2.0, help="average weight-bit budget B")
+    quantize.add_argument("--act-bits", type=int, default=None, help="activation bit-width")
+    quantize.add_argument("--max-bits", type=int, default=4, help="search range upper end N")
+    quantize.add_argument("--refine-epochs", type=int, default=8)
+    quantize.add_argument("--seed", type=int, default=0)
+    quantize.add_argument("--save", default=None, help="checkpoint path (.npz)")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=_FIGURES)
+    figure.add_argument("--scale", default="tiny", choices=tuple(SCALES))
+    figure.add_argument("--seed", type=int, default=0)
+
+    cost = sub.add_parser("cost", help="hardware cost sheet of a CQ arrangement")
+    cost.add_argument("--model", default="vgg-small", choices=available_models())
+    cost.add_argument("--dataset", default="synth10", choices=("synth10", "synth100"))
+    cost.add_argument("--scale", default="tiny", choices=tuple(SCALES))
+    cost.add_argument("--bits", type=float, default=2.0, help="average weight-bit budget B")
+    cost.add_argument("--act-bits", type=int, default=2, help="activation bit-width")
+    cost.add_argument("--refine-epochs", type=int, default=8)
+    cost.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("models", help="list registered model architectures")
+    sub.add_parser("datasets", help="list dataset presets")
+    return parser
+
+
+def _run_quantize(args) -> int:
+    model, dataset, fp_accuracy = get_pretrained(
+        args.model, args.dataset, scale=args.scale, seed=args.seed
+    )
+    print(f"pre-trained {args.model} on {args.dataset}: FP accuracy {fp_accuracy:.4f}")
+    config = CQConfig(
+        target_avg_bits=args.bits,
+        max_bits=args.max_bits,
+        act_bits=args.act_bits,
+        refine_epochs=args.refine_epochs,
+        samples_per_class=min(16, dataset.config.val_per_class),
+        seed=args.seed,
+    )
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+    print(summarize(result))
+    if args.save:
+        save_checkpoint(
+            result.model,
+            args.save,
+            metadata={
+                "bit_map": result.bit_map.to_dict(),
+                "accuracy": result.accuracy_after_refine,
+            },
+        )
+        print(f"saved quantized model to {args.save}")
+    return 0
+
+
+def _run_figure(args) -> int:
+    from repro.experiments import (
+        ablations,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        granularity,
+    )
+
+    modules = {
+        "2": fig2,
+        "3": fig3,
+        "4": fig4,
+        "5": fig5,
+        "6": fig6,
+        "7": fig7,
+        "ablations": ablations,
+        "granularity": granularity,
+    }
+    module = modules[args.number]
+    result = module.run(scale=args.scale, seed=args.seed)
+    print(module.render(result))
+    return 0
+
+
+def _run_cost(args) -> int:
+    import numpy as np
+
+    from repro.hw import comparison_table, cost_summary, layer_cost_table, profile_model
+    from repro.quant.bitmap import BitWidthMap
+
+    model, dataset, fp_accuracy = get_pretrained(
+        args.model, args.dataset, scale=args.scale, seed=args.seed
+    )
+    print(f"pre-trained {args.model} on {args.dataset}: FP accuracy {fp_accuracy:.4f}")
+    profile = profile_model(model, dataset.image_shape)
+    config = CQConfig(
+        target_avg_bits=args.bits,
+        act_bits=args.act_bits,
+        refine_epochs=args.refine_epochs,
+        samples_per_class=min(16, dataset.config.val_per_class),
+        seed=args.seed,
+    )
+    result = ClassBasedQuantizer(config).quantize(model, dataset)
+    print(
+        f"CQ accuracy: {result.accuracy_after_refine:.4f} at "
+        f"{result.average_bits:.3f} average weight bits"
+    )
+    print()
+    print(layer_cost_table(profile, result.bit_map, act_bits=args.act_bits))
+    print()
+    uniform_map = BitWidthMap(
+        {
+            name: np.full(len(result.bit_map[name]), int(round(args.bits)))
+            for name in result.bit_map
+        },
+        {name: result.bit_map.weights_per_filter(name) for name in result.bit_map},
+    )
+    print(
+        comparison_table(
+            [
+                cost_summary(profile, result.bit_map, args.act_bits, label="CQ"),
+                cost_summary(profile, uniform_map, args.act_bits, label="uniform"),
+            ]
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "quantize":
+        return _run_quantize(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "cost":
+        return _run_cost(args)
+    if args.command == "models":
+        print("\n".join(available_models()))
+        return 0
+    if args.command == "datasets":
+        print("synth10   — 10-class SynthCIFAR (CIFAR-10 stand-in)")
+        print("synth100  — 100-class SynthCIFAR (CIFAR-100 stand-in)")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

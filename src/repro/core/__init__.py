@@ -1,0 +1,48 @@
+"""Class-based Quantization (CQ): the paper's primary contribution.
+
+Pipeline (Sec. III): one-time back-propagation collects per-neuron
+class-importance scores -> a threshold search assigns per-filter
+bit-widths under an average-bit budget -> the quantized model is refined
+with knowledge distillation and the straight-through estimator.
+"""
+
+from repro.core.ablation import AblationScorer
+from repro.core.act_allocation import (
+    ActAllocationConfig,
+    ActAllocationResult,
+    allocate_activation_bits,
+    apply_activation_bits,
+)
+from repro.core.config import CQConfig
+from repro.core.importance import (
+    ImportanceResult,
+    ImportanceScorer,
+    neuron_scores_to_filter_scores,
+)
+from repro.core.search import (
+    BitWidthSearch,
+    SearchResult,
+    SearchStep,
+    assign_bits,
+)
+from repro.core.distill import refine_quantized_model
+from repro.core.pipeline import CQResult, ClassBasedQuantizer
+
+__all__ = [
+    "AblationScorer",
+    "ActAllocationConfig",
+    "ActAllocationResult",
+    "allocate_activation_bits",
+    "apply_activation_bits",
+    "BitWidthSearch",
+    "CQConfig",
+    "CQResult",
+    "ClassBasedQuantizer",
+    "ImportanceResult",
+    "ImportanceScorer",
+    "SearchResult",
+    "SearchStep",
+    "assign_bits",
+    "neuron_scores_to_filter_scores",
+    "refine_quantized_model",
+]

@@ -1,0 +1,198 @@
+"""Exact ablation importance scores (paper eq. 4).
+
+Eq. (4) defines the importance of a neuron as the output change when its
+activation is frozen at zero:
+
+    s = | Phi(x) - Phi(x; a <- 0) |
+
+The paper immediately replaces it with the Taylor approximation (eq. 5,
+:class:`~repro.core.importance.ImportanceScorer`) because the exact form
+needs one forward pass per unit. This module implements the exact form
+anyway — at *filter* granularity for conv taps (one output channel
+zeroed at a time) and neuron granularity for linear taps — so the
+approximation can be validated: the two scorers' filter rankings agree
+strongly on trained models (see ``tests/test_ablation_scorer.py`` and
+the scoring ablation), which is precisely the claim [16] makes for
+critical pathways.
+
+The cost asymmetry is measurable: :meth:`AblationScorer.score` reports
+the number of forward passes it spent, versus one backward per class for
+the Taylor scorer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.importance import ImportanceResult
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class AblationScorer:
+    """Computes eq. (4) scores by zeroing one unit at a time.
+
+    Parameters
+    ----------
+    model:
+        Pre-trained model, scored in eval mode.
+    taps:
+        Mapping layer-name -> module whose output carries the layer's
+        activations (defaults to ``model.tap_modules()``), exactly as in
+        :class:`~repro.core.importance.ImportanceScorer`.
+    eps:
+        Critical-pathway threshold (paper: ``1e-50``).
+    relative_eps:
+        If set, a unit is critical when ``|dPhi| > relative_eps * |Phi|``
+        (relative output change) instead of the absolute ``eps``. At
+        *channel* granularity the paper's near-zero absolute threshold
+        saturates — zeroing a whole conv channel virtually always moves
+        the logit by more than 1e-50, so every filter scores the full
+        class count (measured: all-10.0 on a trained VGG-small while the
+        FC neuron scores match the Taylor scorer exactly). A small
+        relative threshold (e.g. ``0.01``) restores the "how many
+        classes does this filter matter for" semantics.
+
+    Conv taps are ablated per output channel (filter granularity; the
+    per-spatial-neuron form would need ``C*H*W`` forwards per layer),
+    linear taps per neuron. The resulting :class:`ImportanceResult`
+    carries one score per filter/neuron, so ``filter_scores()`` is the
+    identity reduction.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        taps: Optional[Mapping[str, Module]] = None,
+        eps: float = 1e-50,
+        relative_eps: Optional[float] = None,
+    ):
+        if taps is None:
+            if not hasattr(model, "tap_modules"):
+                raise TypeError(
+                    "model does not define tap_modules(); pass taps explicitly"
+                )
+            taps = model.tap_modules()
+        if not taps:
+            raise ValueError("no tap modules supplied")
+        if relative_eps is not None and relative_eps <= 0:
+            raise ValueError(f"relative_eps must be positive, got {relative_eps}")
+        self.model = model
+        self.taps: "OrderedDict[str, Module]" = OrderedDict(taps)
+        self.eps = eps
+        self.relative_eps = relative_eps
+        self.forward_passes = 0
+
+    # ------------------------------------------------------------------
+    def score(self, class_batches: Mapping[int, np.ndarray]) -> ImportanceResult:
+        """Run the ablation passes; see :class:`ImportanceScorer.score`."""
+        if not class_batches:
+            raise ValueError("class_batches is empty")
+        was_training = self.model.training
+        self.model.eval()
+        mask_state: Dict[str, Optional[int]] = {"layer": None, "unit": None}
+        originals = {}
+        try:
+            for name, module in self.taps.items():
+                originals[name] = module.forward
+                object.__setattr__(
+                    module, "forward", self._masking_forward(name, module, mask_state)
+                )
+            beta = self._collect_beta(class_batches, mask_state)
+        finally:
+            for module in self.taps.values():
+                if "forward" in module.__dict__:
+                    object.__delattr__(module, "forward")
+            self.model.train(was_training)
+
+        neuron_scores: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, stacked.sum(axis=0)) for name, stacked in beta.items()
+        )
+        return ImportanceResult(
+            neuron_scores=neuron_scores,
+            beta=beta,
+            num_classes=len(class_batches),
+        )
+
+    # ------------------------------------------------------------------
+    def _unit_count(self, name: str, sample_output: np.ndarray) -> int:
+        """Channels (conv, NCHW) or neurons (linear, NF) of a tap."""
+        return int(sample_output.shape[1])
+
+    def _masking_forward(self, name: str, module: Module, mask_state: Dict):
+        original = type(module).forward
+
+        def forward(*args, **kwargs):
+            out = original(module, *args, **kwargs)
+            if mask_state["layer"] == name and mask_state["unit"] is not None:
+                data = out.data.copy()
+                data[:, mask_state["unit"]] = 0.0  # eq. 4: a <- 0
+                return Tensor(data)
+            return out
+
+        return forward
+
+    def _collect_beta(
+        self, class_batches: Mapping[int, np.ndarray], mask_state: Dict
+    ) -> "OrderedDict[str, np.ndarray]":
+        per_class: Dict[str, list] = {name: [] for name in self.taps}
+        unit_counts: Dict[str, int] = {}
+        for class_index in sorted(class_batches):
+            images = np.asarray(class_batches[class_index])
+            if images.ndim < 2 or len(images) == 0:
+                raise ValueError(f"class {class_index} batch must be a non-empty array")
+            x = Tensor(images)
+            mask_state["layer"] = mask_state["unit"] = None
+            if not unit_counts:
+                unit_counts = self._probe_units(x)
+            with no_grad():
+                baseline = self.model(x).data
+                self.forward_passes += 1
+            if not (0 <= class_index < baseline.shape[1]):
+                raise ValueError(
+                    f"class index {class_index} out of range for model with "
+                    f"{baseline.shape[1]} outputs"
+                )
+            base_logit = baseline[:, class_index]
+
+            for name in self.taps:
+                units = unit_counts[name]
+                critical = np.zeros((units, len(images)), dtype=bool)
+                mask_state["layer"] = name
+                for unit in range(units):
+                    mask_state["unit"] = unit
+                    with no_grad():
+                        ablated = self.model(x).data
+                        self.forward_passes += 1
+                    s = np.abs(base_logit - ablated[:, class_index])  # eq. 4
+                    if self.relative_eps is not None:
+                        critical[unit] = s > self.relative_eps * np.abs(base_logit)
+                    else:
+                        critical[unit] = s > self.eps
+                mask_state["layer"] = mask_state["unit"] = None
+                per_class[name].append(critical.mean(axis=1))  # eq. 6
+
+        return OrderedDict(
+            (name, np.stack(values)) for name, values in per_class.items()
+        )
+
+    def _probe_units(self, x: Tensor) -> Dict[str, int]:
+        """Unit count of every tap, from one unmasked capture."""
+        captured: Dict[str, tuple] = {}
+        handles = []
+        for name, module in self.taps.items():
+            def hook(_module, output, name=name):
+                captured[name] = output.shape
+
+            handles.append(module.register_forward_hook(hook))
+        try:
+            with no_grad():
+                self.model(x)
+                self.forward_passes += 1
+        finally:
+            for handle in handles:
+                handle.remove()
+        return {name: int(shape[1]) for name, shape in captured.items()}

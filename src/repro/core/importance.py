@@ -1,0 +1,203 @@
+"""Class-based importance scores (paper Sec. III-A and III-B).
+
+For every neuron ``j`` in layer ``i`` and every class ``m``:
+
+1. Taylor critical-pathway score per image (eq. 5):
+   ``s = | a * dPhi/da |`` where ``Phi`` is the class-``m`` logit — one
+   backward pass per class batch instead of one forward pass per neuron
+   ablation (eq. 4).
+2. A neuron is *critical* for an image if ``s > eps`` (``eps = 1e-50``).
+3. ``beta^m`` (eq. 6): fraction of class-``m`` validation images for
+   which the neuron is critical.
+4. ``gamma`` (eq. 7): ``sum_m beta^m`` — "how many classes does this
+   neuron serve", in ``[0, M]``.
+5. Filter score ``phi`` (eq. 8): max of ``gamma`` over the filter's
+   neurons (spatial positions of its output channel).
+
+The scorer taps activations with forward hooks, so models need no
+modification; models provide ``tap_modules()`` mapping each quantizable
+weight-layer name to the module whose output carries that layer's
+neuron activations (usually the following ReLU).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def neuron_scores_to_filter_scores(gamma: np.ndarray) -> np.ndarray:
+    """Reduce neuron scores to per-filter scores with max (eq. 8).
+
+    Conv activations have shape ``(C, H, W)`` — max over the spatial
+    axes. Linear activations ``(F,)`` are already per-neuron scores.
+    """
+    if gamma.ndim == 1:
+        return gamma.copy()
+    if gamma.ndim == 3:
+        return gamma.max(axis=(1, 2))
+    raise ValueError(f"unsupported neuron-score shape {gamma.shape}")
+
+
+@dataclass
+class ImportanceResult:
+    """Scores produced by :class:`ImportanceScorer`.
+
+    Attributes
+    ----------
+    neuron_scores:
+        Layer name -> ``gamma`` array (eq. 7); shape ``(C, H, W)`` for
+        conv taps, ``(F,)`` for linear taps. Values lie in ``[0, M]``.
+    beta:
+        Layer name -> array of shape ``(M, *neuron_shape)`` holding the
+        per-class scores of eq. (6) (kept for analysis / Figure 2).
+    num_classes:
+        ``M``.
+    """
+
+    neuron_scores: "OrderedDict[str, np.ndarray]"
+    beta: "OrderedDict[str, np.ndarray]" = field(repr=False)
+    num_classes: int = 0
+
+    def filter_scores(self) -> "OrderedDict[str, np.ndarray]":
+        """Per-filter scores ``phi`` (eq. 8) for every tapped layer."""
+        return OrderedDict(
+            (name, neuron_scores_to_filter_scores(gamma))
+            for name, gamma in self.neuron_scores.items()
+        )
+
+    def max_score(self) -> float:
+        """Largest filter score across layers (upper end of the search axis)."""
+        return max(
+            float(scores.max()) for scores in self.filter_scores().values()
+        )
+
+
+class ImportanceScorer:
+    """Computes class-based importance scores with one backward per class.
+
+    Parameters
+    ----------
+    model:
+        Pre-trained full-precision model. Scored in eval mode (frozen
+        batch-norm statistics), as the method starts from a trained
+        model and validation samples (Sec. III).
+    taps:
+        Mapping layer-name -> module to tap. Defaults to
+        ``model.tap_modules()``.
+    eps:
+        Critical-pathway threshold (paper: ``1e-50``).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        taps: Optional[Mapping[str, Module]] = None,
+        eps: float = 1e-50,
+    ):
+        if taps is None:
+            if not hasattr(model, "tap_modules"):
+                raise TypeError(
+                    "model does not define tap_modules(); pass taps explicitly"
+                )
+            taps = model.tap_modules()
+        if not taps:
+            raise ValueError("no tap modules supplied")
+        self.model = model
+        self.taps: "OrderedDict[str, Module]" = OrderedDict(taps)
+        self.eps = eps
+
+    # ------------------------------------------------------------------
+    def score(self, class_batches: Mapping[int, np.ndarray]) -> ImportanceResult:
+        """Run the scoring passes.
+
+        Parameters
+        ----------
+        class_batches:
+            ``{class_index: images (Ns, C, H, W)}`` — a batch of
+            validation images per class (Sec. III-A).
+        """
+        if not class_batches:
+            raise ValueError("class_batches is empty")
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            beta = self._collect_beta(class_batches)
+        finally:
+            self.model.train(was_training)
+
+        neuron_scores: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, stacked.sum(axis=0)) for name, stacked in beta.items()
+        )
+        return ImportanceResult(
+            neuron_scores=neuron_scores,
+            beta=beta,
+            num_classes=len(class_batches),
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_beta(
+        self, class_batches: Mapping[int, np.ndarray]
+    ) -> "OrderedDict[str, np.ndarray]":
+        """Per-class critical fractions ``beta`` for every tapped layer."""
+        captured: Dict[str, Tensor] = {}
+        handles = []
+        for name, module in self.taps.items():
+            handles.append(
+                module.register_forward_hook(self._make_hook(name, captured))
+            )
+        per_class: Dict[str, list] = {name: [] for name in self.taps}
+        try:
+            for class_index in sorted(class_batches):
+                images = np.asarray(class_batches[class_index])
+                if images.ndim < 2 or len(images) == 0:
+                    raise ValueError(
+                        f"class {class_index} batch must be a non-empty array"
+                    )
+                captured.clear()
+                logits = self.model(Tensor(images))
+                if not (0 <= class_index < logits.shape[1]):
+                    raise ValueError(
+                        f"class index {class_index} out of range for model "
+                        f"with {logits.shape[1]} outputs"
+                    )
+                # Phi = the class-m logit; summing over the batch gives each
+                # sample its own gradient since samples are independent.
+                objective = logits[:, class_index].sum()
+                self.model.zero_grad()
+                objective.backward()
+                for name in self.taps:
+                    activation = captured.get(name)
+                    if activation is None:
+                        raise RuntimeError(
+                            f"tap {name!r} captured no activation; was the "
+                            "module executed in forward()?"
+                        )
+                    if activation.grad is None:
+                        raise RuntimeError(
+                            f"tap {name!r} received no gradient; check that "
+                            "the tapped module feeds the model output"
+                        )
+                    taylor = np.abs(activation.data * activation.grad)  # eq. 5
+                    critical = taylor > self.eps
+                    per_class[name].append(critical.mean(axis=0))  # eq. 6
+        finally:
+            for handle in handles:
+                handle.remove()
+
+        return OrderedDict(
+            (name, np.stack(values)) for name, values in per_class.items()
+        )
+
+    @staticmethod
+    def _make_hook(name: str, captured: Dict[str, Tensor]):
+        def hook(_module, output):
+            captured[name] = output
+
+        return hook

@@ -1,0 +1,62 @@
+"""Textual report for a completed CQ run.
+
+Collects the quantities a practitioner checks after quantizing a model
+— accuracies, budget adherence, per-layer arrangement, storage savings
+— into one formatted block. Used by the examples and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.render import ascii_table
+from repro.core.pipeline import CQResult
+from repro.quant.export import export_quantized_weights
+from repro.quant.metrics import pruned_weight_fraction, weight_sqnr_db
+
+
+def summarize(result: CQResult) -> str:
+    """Render a full post-quantization report for a :class:`CQResult`."""
+    lines = ["=== Class-based Quantization report ==="]
+    lines.append(
+        f"accuracy: FP {result.accuracy_fp:.4f} -> quantized "
+        f"{result.accuracy_before_refine:.4f} -> refined "
+        f"{result.accuracy_after_refine:.4f}"
+    )
+    lines.append(
+        f"average weight bits: {result.average_bits:.3f} "
+        f"(pruned fraction {pruned_weight_fraction(result.model):.1%})"
+    )
+    thresholds = ", ".join(
+        f"p_{k + 1}={p:.3f}" for k, p in enumerate(result.search.thresholds)
+    )
+    lines.append(f"search: {thresholds}; {result.search.evaluations} evaluations")
+
+    sqnr = weight_sqnr_db(result.model)
+    rows = []
+    for name in result.bit_map.layers():
+        bits = result.bit_map[name]
+        rows.append(
+            [
+                name,
+                len(bits),
+                int((bits == 0).sum()),
+                float(bits.mean()),
+                sqnr[name] if np.isfinite(sqnr[name]) else float("nan"),
+            ]
+        )
+    lines.append(
+        ascii_table(
+            ["layer", "filters", "pruned", "avg bits", "SQNR (dB)"],
+            rows,
+            title="per-layer arrangement:",
+        )
+    )
+
+    export = export_quantized_weights(result.model)
+    lines.append(
+        f"deployed size of quantized layers: "
+        f"{export.quantized_payload_bits / 8 / 1024:.2f} KiB "
+        f"(x{export.compression_ratio():.1f} vs FP32)"
+    )
+    return "\n".join(lines)

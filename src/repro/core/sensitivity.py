@@ -1,0 +1,107 @@
+"""Layer-wise quantization sensitivity analysis.
+
+A classic mixed-precision diagnostic (cf. HAWQ [14]'s motivation):
+quantize one layer at a time to each candidate bit-width, keeping all
+other layers full precision, and measure the validation accuracy drop.
+Complements CQ's class-based scores — the per-experiment ablation bench
+contrasts arrangements derived from both signals, and the report helps
+users see *which* layers their budget should protect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.render import ascii_table
+from repro.nn.module import Module
+from repro.quant.qmodules import quantize_model, quantized_layers
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.misc import clone_module
+
+
+@dataclass
+class SensitivityResult:
+    """Accuracy of one-layer-at-a-time quantization.
+
+    ``accuracy[layer][bits]`` is the validation accuracy with only
+    ``layer`` quantized to ``bits`` (weights only); ``baseline`` is the
+    all-FP accuracy on the same batch.
+    """
+
+    accuracy: "OrderedDict[str, Dict[int, float]]" = field(default_factory=OrderedDict)
+    baseline: float = float("nan")
+    bit_widths: Sequence[int] = (1, 2, 4)
+
+    def drop(self, layer: str, bits: int) -> float:
+        """Accuracy drop vs the FP baseline (positive = worse)."""
+        return self.baseline - self.accuracy[layer][bits]
+
+    def most_sensitive(self, bits: int) -> str:
+        """Layer with the largest drop at a bit-width."""
+        return max(self.accuracy, key=lambda name: self.drop(name, bits))
+
+    def least_sensitive(self, bits: int) -> str:
+        return min(self.accuracy, key=lambda name: self.drop(name, bits))
+
+
+def measure_layer_sensitivity(
+    model: Module,
+    val_images: np.ndarray,
+    val_labels: np.ndarray,
+    bit_widths: Sequence[int] = (1, 2, 4),
+    max_bits: Optional[int] = None,
+) -> SensitivityResult:
+    """Quantize each layer alone at each bit-width and measure accuracy.
+
+    Cost: one forward pass per (layer, bit-width) pair on the supplied
+    validation batch; the model itself is never modified.
+    """
+    if not bit_widths:
+        raise ValueError("bit_widths must be non-empty")
+    if any(b < 0 for b in bit_widths):
+        raise ValueError(f"bit-widths must be non-negative, got {bit_widths}")
+    max_bits = max_bits if max_bits is not None else max(max(bit_widths), 1)
+
+    surrogate = clone_module(model)
+    quantize_model(surrogate, max_bits=max_bits, act_bits=None)
+    surrogate.eval()
+    layers = quantized_layers(surrogate)
+    images = Tensor(np.asarray(val_images))
+    labels = np.asarray(val_labels)
+
+    def evaluate() -> float:
+        with no_grad():
+            return F.accuracy(surrogate(images), labels)
+
+    # FP baseline: weight quantization disabled everywhere.
+    for layer in layers.values():
+        layer.weight_quant_enabled = False
+    result = SensitivityResult(baseline=evaluate(), bit_widths=tuple(bit_widths))
+
+    for name, layer in layers.items():
+        result.accuracy[name] = {}
+        layer.weight_quant_enabled = True
+        for bits in bit_widths:
+            layer.set_bits(np.full(layer.num_filters, bits, dtype=np.int64))
+            result.accuracy[name][bits] = evaluate()
+        layer.weight_quant_enabled = False
+        layer.set_bits(np.full(layer.num_filters, max_bits, dtype=np.int64))
+    return result
+
+
+def render_sensitivity(result: SensitivityResult) -> str:
+    """Sensitivity table: one row per layer, one column per bit-width."""
+    headers = ["layer"] + [f"{bits}-bit" for bits in result.bit_widths] + ["worst drop"]
+    rows = []
+    for name, per_bits in result.accuracy.items():
+        drops = [result.baseline - per_bits[bits] for bits in result.bit_widths]
+        rows.append([name] + [per_bits[bits] for bits in result.bit_widths] + [max(drops)])
+    table = ascii_table(
+        headers, rows, title="Layer-wise quantization sensitivity (accuracy)"
+    )
+    return table + f"\nFP baseline on this batch: {result.baseline:.4f}"

@@ -1,0 +1,88 @@
+"""Batch-level data augmentation (numpy-vectorised).
+
+Transforms take ``(images, rng)`` with images of shape ``(N, C, H, W)``
+and return a new array of the same shape. They are applied by the
+:class:`~repro.data.dataset.DataLoader` at batch time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable]):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = images.copy()
+        flip = rng.random(len(images)) < self.p
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels and crop back to the original size."""
+
+    def __init__(self, padding: int = 2):
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = padding
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        n, c, h, w = images.shape
+        pad = self.padding
+        padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        out = np.empty_like(images)
+        offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+        for i in range(n):
+            dy, dx = offsets[i]
+            out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+        return out
+
+
+class Normalize:
+    """Per-channel standardisation with fixed mean/std."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+        if (self.std == 0).any():
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (images - self.mean) / self.std
+
+
+class GaussianNoise:
+    """Additive Gaussian noise (robustness-ablation augmentation)."""
+
+    def __init__(self, sigma: float = 0.05):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = sigma
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return images
+        return images + self.sigma * rng.standard_normal(images.shape)

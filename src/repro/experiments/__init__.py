@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per paper figure plus ablations.
+
+Each ``figN`` module exposes ``run(scale=...)`` returning a structured
+result and a ``render(result)`` producing the figure's content as text.
+The benchmark targets under ``benchmarks/`` and the examples both call
+into these, so the paper's evaluation is reproducible from one place.
+"""
+
+from repro.experiments.presets import (
+    ExperimentScale,
+    SCALES,
+    get_dataset,
+    get_pretrained,
+    pretrain,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_dataset",
+    "get_pretrained",
+    "pretrain",
+]

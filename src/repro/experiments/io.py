@@ -1,0 +1,58 @@
+"""Serialisation of experiment results to JSON.
+
+The figure harnesses return dataclasses; these helpers flatten them to
+plain JSON so EXPERIMENTS.md numbers can be regenerated and archived
+alongside benchmark runs (``.cache/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy / dataclass values to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    return value
+
+
+def _key(key: Any) -> str:
+    """JSON object keys must be strings; tuples become dash-joined."""
+    if isinstance(key, tuple):
+        return "-".join(str(part) for part in key)
+    return str(key)
+
+
+def save_result(result: Any, path: PathLike, metadata: Dict = None) -> None:
+    """Serialise a figure-harness result dataclass to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"result": _jsonable(result)}
+    if metadata:
+        payload["metadata"] = _jsonable(metadata)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_result(path: PathLike) -> Dict:
+    """Load a JSON result file back into plain dicts/lists."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,62 @@
+"""Hardware cost modeling for mixed-precision arrangements.
+
+The paper's motivation (Sec. I) is the storage and MAC cost of DNNs on
+resource-constrained platforms; this subpackage quantifies both for the
+bit-width arrangements CQ produces:
+
+* :mod:`repro.hw.profile` — MAC/parameter/shape profiling of a model,
+* :mod:`repro.hw.energy` — bit-scaled MAC + memory-hierarchy energy,
+* :mod:`repro.hw.latency` — precision-scalable PE array with a roofline
+  memory bound,
+* :mod:`repro.hw.pareto` — accuracy-versus-cost frontier analysis,
+* :mod:`repro.hw.report` — cost sheets and arrangement comparisons.
+
+Quickstart::
+
+    from repro.hw import EnergyModel, LatencyModel, profile_model, cost_summary
+
+    profile = profile_model(model, input_shape=(3, 16, 16))
+    summary = cost_summary(profile, result.bit_map, act_bits=2, label="CQ 2.0/2.0")
+    print(f"energy saving x{summary.energy_saving:.1f}")
+"""
+
+from repro.hw.energy import FP32_BITS, EnergyModel, EnergyParams, EnergyReport, LayerEnergy
+from repro.hw.latency import (
+    AcceleratorParams,
+    LatencyModel,
+    LatencyReport,
+    LayerLatency,
+)
+from repro.hw.pareto import (
+    DesignPoint,
+    dominated_points,
+    hypervolume_2d,
+    knee_point,
+    pareto_front,
+)
+from repro.hw.profile import LayerProfile, ModelProfile, profile_model
+from repro.hw.report import CostSummary, comparison_table, cost_summary, layer_cost_table
+
+__all__ = [
+    "FP32_BITS",
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyReport",
+    "LayerEnergy",
+    "AcceleratorParams",
+    "LatencyModel",
+    "LatencyReport",
+    "LayerLatency",
+    "DesignPoint",
+    "dominated_points",
+    "hypervolume_2d",
+    "knee_point",
+    "pareto_front",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "CostSummary",
+    "comparison_table",
+    "cost_summary",
+    "layer_cost_table",
+]

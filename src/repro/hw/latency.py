@@ -1,0 +1,167 @@
+"""Latency model: precision-scalable PE array with a roofline memory bound.
+
+Models a BitFusion-style accelerator whose processing elements (PEs)
+natively perform an 8x8-bit MAC per cycle and can be *fused down*: a PE
+splits into ``(8 / w) * (8 / a)`` parallel low-precision MACs when the
+operands are ``w``- and ``a``-bit (each factor at least 1, powers of two
+in real hardware — the model uses the continuous ratio, which is the
+standard idealisation). Filters at 0 bits are skipped entirely.
+
+Layer latency is the roofline maximum of
+
+* compute time: effective MAC-cycles / (PE count x frequency), and
+* memory time: DRAM traffic / bandwidth,
+
+so arrangements can be compared both in the compute-bound regime (large
+PE arrays starved by precision) and the memory-bound regime (weight
+traffic dominated, where lower stored bits win directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.hw.energy import FP32_BITS
+from repro.hw.profile import LayerProfile, ModelProfile
+from repro.quant.bitmap import BitWidthMap
+
+
+@dataclass(frozen=True)
+class AcceleratorParams:
+    """Hardware configuration of the modeled accelerator."""
+
+    num_pes: int = 1024  #: PEs, each one native 8x8 MAC per cycle
+    frequency_hz: float = 1e9  #: clock
+    dram_bandwidth_bytes_per_s: float = 16e9  #: off-chip bandwidth
+    native_bits: int = 8  #: operand width of one native PE lane
+
+    def throughput_scale(self, weight_bits: float, act_bits: float) -> float:
+        """Parallel low-precision MACs one PE performs per cycle."""
+        if weight_bits <= 0 or act_bits <= 0:
+            raise ValueError("throughput scale needs positive bit-widths")
+        w_factor = max(1.0, self.native_bits / weight_bits)
+        a_factor = max(1.0, self.native_bits / act_bits)
+        return w_factor * a_factor
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Latency breakdown for one layer, in seconds per inference."""
+
+    name: str
+    compute_s: float  #: PE-array time at the layer's precisions
+    memory_s: float  #: DRAM transfer time for weights + activations
+
+    @property
+    def total_s(self) -> float:
+        """Roofline: the layer is bound by the slower of the two."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def bound(self) -> str:
+        """``"compute"`` or ``"memory"``, whichever dominates."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+class LatencyReport:
+    """Per-layer :class:`LayerLatency` plus model totals."""
+
+    def __init__(self, layers: Mapping[str, LayerLatency]):
+        self._layers: Dict[str, LayerLatency] = dict(layers)
+
+    def __getitem__(self, name: str) -> LayerLatency:
+        return self._layers[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    @property
+    def total_s(self) -> float:
+        """Layers execute sequentially; totals add."""
+        return sum(l.total_s for l in self._layers.values())
+
+    def __repr__(self) -> str:
+        return f"LatencyReport(layers={len(self)}, total={self.total_s * 1e6:.2f} us)"
+
+
+class LatencyModel:
+    """Costs a :class:`~repro.hw.profile.ModelProfile` in seconds."""
+
+    def __init__(self, params: Optional[AcceleratorParams] = None):
+        self.params = params if params is not None else AcceleratorParams()
+
+    def layer_latency(
+        self,
+        profile: LayerProfile,
+        weight_bits: Union[int, np.ndarray],
+        act_bits: int,
+    ) -> LayerLatency:
+        """Latency of one layer at per-filter (or scalar) weight widths."""
+        bits = np.asarray(weight_bits, dtype=np.float64)
+        if bits.ndim == 0:
+            bits = np.full(profile.num_filters, float(bits))
+        if bits.shape != (profile.num_filters,):
+            raise ValueError(
+                f"expected {profile.num_filters} per-filter bit-widths for "
+                f"{profile.name!r}, got shape {bits.shape}"
+            )
+        if act_bits <= 0:
+            raise ValueError("act_bits must be positive for latency modeling")
+
+        p = self.params
+        active = bits > 0
+        # Effective native-PE cycles: each filter's MACs divided by the
+        # low-precision parallelism its width unlocks.
+        effective_cycles = float(
+            sum(
+                profile.macs_per_filter / p.throughput_scale(b, act_bits)
+                for b in bits[active]
+            )
+        )
+        compute_s = effective_cycles / (p.num_pes * p.frequency_hz)
+
+        weight_bits_moved = float(profile.weights_per_filter * bits[active].sum())
+        act_bits_moved = float(profile.output_elements * act_bits)
+        memory_s = (weight_bits_moved + act_bits_moved) / 8.0 / p.dram_bandwidth_bytes_per_s
+
+        return LayerLatency(name=profile.name, compute_s=compute_s, memory_s=memory_s)
+
+    def _fp_layer_latency(self, profile: LayerProfile) -> LayerLatency:
+        """FP32 layer: one MAC per PE-cycle (no precision fusion), 32-bit traffic."""
+        p = self.params
+        compute_s = profile.macs / (p.num_pes * p.frequency_hz)
+        traffic_bits = (profile.params + profile.output_elements) * FP32_BITS
+        memory_s = traffic_bits / 8.0 / p.dram_bandwidth_bytes_per_s
+        return LayerLatency(name=profile.name, compute_s=compute_s, memory_s=memory_s)
+
+    def model_latency(
+        self,
+        profile: ModelProfile,
+        bit_map: Optional[BitWidthMap] = None,
+        act_bits: int = FP32_BITS,
+        unmapped: str = "fp32",
+    ) -> LatencyReport:
+        """Latency report; semantics of ``unmapped`` match
+        :meth:`repro.hw.energy.EnergyModel.model_energy`."""
+        if unmapped not in ("fp32", "skip"):
+            raise ValueError(f"unmapped must be 'fp32' or 'skip', got {unmapped!r}")
+        layers: Dict[str, LayerLatency] = {}
+        for name in profile:
+            layer_profile = profile[name]
+            if bit_map is not None and name in bit_map:
+                layers[name] = self.layer_latency(layer_profile, bit_map[name], act_bits)
+            elif unmapped == "fp32":
+                layers[name] = self._fp_layer_latency(layer_profile)
+        return LatencyReport(layers)
+
+    def fp32_latency(self, profile: ModelProfile) -> LatencyReport:
+        """FP32 baseline latency for the whole profile."""
+        return LatencyReport(
+            {name: self._fp_layer_latency(profile[name]) for name in profile}
+        )

@@ -1,0 +1,113 @@
+"""Pareto analysis of accuracy-versus-cost design points.
+
+CQ exposes a one-dimensional knob (the average bit budget ``B``); each
+setting yields an (accuracy, cost) point where cost may be model size,
+energy or latency. These helpers identify the non-dominated frontier and
+the knee point of such sweeps — the standard way DATE-style papers
+summarise a design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration.
+
+    ``accuracy`` is maximised, ``cost`` minimised. ``label`` and
+    ``payload`` carry identification (e.g. the bit setting and the
+    :class:`~repro.quant.bitmap.BitWidthMap` that produced the point).
+    """
+
+    accuracy: float
+    cost: float
+    label: str = ""
+    payload: Any = field(default=None, compare=False)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """True if at least as good on both axes and better on one."""
+        at_least = self.accuracy >= other.accuracy and self.cost <= other.cost
+        better = self.accuracy > other.accuracy or self.cost < other.cost
+        return at_least and better
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by ascending cost.
+
+    Duplicate-coordinate points are all retained (none dominates the
+    other), so equal-quality alternatives stay visible.
+    """
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    return sorted(front, key=lambda p: (p.cost, -p.accuracy))
+
+
+def dominated_points(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Complement of :func:`pareto_front`, in input order."""
+    front = set(id(p) for p in pareto_front(points))
+    return [p for p in points if id(p) not in front]
+
+
+def knee_point(points: Sequence[DesignPoint]) -> Optional[DesignPoint]:
+    """Frontier point with maximum distance to the frontier's chord.
+
+    The chord runs from the cheapest to the most accurate frontier
+    point; the knee is where adding cost stops buying much accuracy.
+    Returns ``None`` for empty input and the single point for frontiers
+    of length one or two (a chord of <=2 points has no interior).
+    """
+    front = pareto_front(points)
+    if not front:
+        return None
+    if len(front) <= 2:
+        return front[0]
+    costs = np.array([p.cost for p in front])
+    accs = np.array([p.accuracy for p in front])
+    # Normalise both axes so the distance is scale-free.
+    cost_span = costs.max() - costs.min()
+    acc_span = accs.max() - accs.min()
+    if cost_span == 0 or acc_span == 0:
+        return front[0]
+    x = (costs - costs.min()) / cost_span
+    y = (accs - accs.min()) / acc_span
+    # Chord from first (cheapest) to last (most accurate) point.
+    dx, dy = x[-1] - x[0], y[-1] - y[0]
+    chord = np.hypot(dx, dy)
+    distance = np.abs(dy * (x - x[0]) - dx * (y - y[0])) / chord
+    return front[int(np.argmax(distance))]
+
+
+def hypervolume_2d(
+    points: Sequence[DesignPoint],
+    reference: Tuple[float, float],
+) -> float:
+    """Area dominated by the frontier relative to ``reference``.
+
+    ``reference = (ref_cost, ref_accuracy)`` must be dominated by every
+    frontier point (higher cost, lower accuracy); points that do not
+    dominate the reference contribute nothing. A scalar quality measure
+    for comparing whole sweeps (larger is better).
+    """
+    ref_cost, ref_acc = reference
+    front = [
+        p for p in pareto_front(points) if p.cost <= ref_cost and p.accuracy >= ref_acc
+    ]
+    if not front:
+        return 0.0
+    # Sweep by ascending cost; each point adds a rectangle up from the
+    # previously covered accuracy level.
+    area = 0.0
+    covered_acc = ref_acc
+    for p in sorted(front, key=lambda p: p.cost):
+        if p.accuracy > covered_acc:
+            area += (ref_cost - p.cost) * (p.accuracy - covered_acc)
+            covered_acc = p.accuracy
+    return area

@@ -1,0 +1,27 @@
+"""Model zoo: the three architectures of the paper's evaluation.
+
+* :class:`VGGSmall` — 5 conv + 4 FC layers (Fig. 2 shows importance
+  histograms for its first 8 weight layers; the output FC is excluded).
+* :class:`ResNet20` — CIFAR-style ResNet-20 with an ``expand`` width
+  factor (`expand=1` is ResNet-20-x1, ``expand=5`` is ResNet-20-x5).
+* :class:`MLP` — the Figure-1 style multilayer perceptron used in
+  examples and unit tests.
+
+All constructors take a ``width_scale`` so the same topologies run at
+laptop scale on the synthetic datasets; ``width_scale=1.0`` gives the
+paper's full-size networks.
+"""
+
+from repro.models.mlp import MLP
+from repro.models.vgg import VGGSmall
+from repro.models.resnet import BasicBlock, ResNet20
+from repro.models.registry import available_models, build_model
+
+__all__ = [
+    "BasicBlock",
+    "MLP",
+    "ResNet20",
+    "VGGSmall",
+    "available_models",
+    "build_model",
+]

@@ -1,0 +1,57 @@
+"""Multilayer perceptron (the Figure-1 illustration network)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Linear, Module, ReLU
+from repro.tensor.tensor import Tensor
+
+
+class MLP(Module):
+    """Fully-connected classifier with ReLU hidden layers.
+
+    Layer names are ``fc0 .. fcK`` (``fcK`` is the output layer). The
+    quantizable layers are the hidden ones, each tapped at its
+    post-ReLU activation, matching the neuron picture of Figure 1.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(hidden) < 2:
+            raise ValueError(
+                "MLP needs at least two hidden layers so that a middle "
+                "layer remains quantizable (first/last are skipped)"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        sizes = [in_features, *hidden]
+        for index in range(len(hidden)):
+            setattr(self, f"fc{index}", Linear(sizes[index], sizes[index + 1], rng=rng))
+            setattr(self, f"relu{index}", ReLU())
+        setattr(self, f"fc{len(hidden)}", Linear(hidden[-1], num_classes, rng=rng))
+        self._num_hidden = len(hidden)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten()
+        for index in range(self._num_hidden):
+            x = getattr(self, f"relu{index}")(getattr(self, f"fc{index}")(x))
+        return getattr(self, f"fc{self._num_hidden}")(x)
+
+    def tap_modules(self) -> "OrderedDict[str, Module]":
+        """Quantizable layer name -> module whose output holds its neurons."""
+        taps: "OrderedDict[str, Module]" = OrderedDict()
+        for index in range(1, self._num_hidden):  # fc0 and the output are skipped
+            taps[f"fc{index}"] = getattr(self, f"relu{index}")
+        return taps

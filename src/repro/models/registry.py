@@ -1,0 +1,72 @@
+"""Model registry: build the paper's architectures by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.mlp import MLP
+from repro.models.resnet import ResNet20
+from repro.models.vgg import VGGSmall
+from repro.nn.module import Module
+
+
+def _build_vgg_small(num_classes, image_size, rng, **kwargs):
+    return VGGSmall(num_classes=num_classes, image_size=image_size, rng=rng, **kwargs)
+
+
+def _build_resnet20_x1(num_classes, image_size, rng, **kwargs):
+    return ResNet20(num_classes=num_classes, expand=1, rng=rng, **kwargs)
+
+
+def _build_resnet20_x5(num_classes, image_size, rng, **kwargs):
+    return ResNet20(num_classes=num_classes, expand=5, rng=rng, **kwargs)
+
+
+def _build_mlp(num_classes, image_size, rng, **kwargs):
+    hidden = kwargs.pop("hidden", (64, 48, 32))
+    in_features = kwargs.pop("in_features", 3 * image_size * image_size)
+    return MLP(in_features, hidden, num_classes, rng=rng, **kwargs)
+
+
+_REGISTRY: Dict[str, Callable] = {
+    "vgg-small": _build_vgg_small,
+    "resnet20-x1": _build_resnet20_x1,
+    "resnet20-x5": _build_resnet20_x5,
+    "mlp": _build_mlp,
+}
+
+
+def available_models() -> tuple:
+    """Names accepted by :func:`build_model`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    image_size: int = 16,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> Module:
+    """Construct a registered model with a reproducible initialisation.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models` (e.g. ``"vgg-small"``).
+    num_classes, image_size:
+        Dataset geometry.
+    seed:
+        Seed for weight initialisation (a fresh generator per call).
+    kwargs:
+        Forwarded to the model constructor (e.g. ``width`` for VGG,
+        ``base_width`` / ``expand`` for ResNet).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        )
+    rng = np.random.default_rng(seed)
+    return _REGISTRY[name](num_classes, image_size, rng, **kwargs)

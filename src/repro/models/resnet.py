@@ -1,0 +1,122 @@
+"""CIFAR-style ResNet-20 with a width ``expand`` factor.
+
+The paper evaluates ResNet-20-x1 (plain) and ResNet-20-x5 (all stage
+widths multiplied by 5). Topology: a stem conv, three stages of three
+:class:`BasicBlock` each (second and third stage downsample), global
+average pooling and a linear classifier — 20 weight layers when counting
+the stem, block convs and the output layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with a residual connection (pre-activation ordering as in [1])."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = self.downsample(x)
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + residual)
+
+
+class ResNet20(Module):
+    """ResNet-20 with ``expand`` width multiplier (x1 / x5 in the paper).
+
+    ``width_scale`` additionally shrinks the base width for CPU-scale
+    experiments; ``expand`` keeps the paper's meaning (relative width
+    between the x1 and x5 variants).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        expand: int = 1,
+        base_width: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_classes = num_classes
+        self.expand = expand
+        widths = [base_width * expand, 2 * base_width * expand, 4 * base_width * expand]
+
+        self.conv0 = Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.bn0 = BatchNorm2d(widths[0])
+        self.relu0 = ReLU()
+
+        blocks = []
+        in_c = widths[0]
+        for stage_index, stage_width in enumerate(widths):
+            for block_index in range(3):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(in_c, stage_width, stride=stride, rng=rng))
+                in_c = stage_width
+        self.blocks = ModuleList(blocks)
+        self.avgpool = GlobalAvgPool2d()
+        self.fc = Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu0(self.bn0(self.conv0(x)))
+        for block in self.blocks:
+            x = block(x)
+        x = self.avgpool(x)
+        return self.fc(x)
+
+    def tap_modules(self) -> "OrderedDict[str, Module]":
+        """Quantizable layer name -> module carrying that layer's neurons.
+
+        ``conv1`` of each block is tapped at its post-ReLU activation;
+        ``conv2`` and downsample convs are tapped at their own output
+        (their contribution flows through the residual sum, so the
+        Taylor score is taken at the conv output itself).
+        """
+        taps: "OrderedDict[str, Module]" = OrderedDict()
+        for index, block in enumerate(self.blocks):
+            taps[f"blocks.{index}.conv1"] = block.relu1
+            taps[f"blocks.{index}.conv2"] = block.conv2
+            if not isinstance(block.downsample, Identity):
+                taps[f"blocks.{index}.downsample.0"] = block.downsample[0]
+        return taps

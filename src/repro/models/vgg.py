@@ -1,0 +1,124 @@
+"""VGG-small: the 9-weight-layer VGG variant of the paper's evaluation.
+
+Layer indexing follows the paper's figures: weight layers 0-8 where
+layer-0 is the first conv (not quantized), layers 1-4 are convs,
+layers 5-7 are hidden fully-connected layers and layer-8 is the output
+(not quantized). Figure 2 plots importance histograms for layers 0-7;
+Figure 6 plots the quantized layers 1-7 and notes that layers 5 and 6
+are fully connected and layer-7 is the last layer before the output.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+)
+from repro.tensor.tensor import Tensor
+
+
+class VGGSmall(Module):
+    """VGG-small for ``image_size`` x ``image_size`` RGB inputs.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (10 for SynthCIFAR-10, 100 for SynthCIFAR-100).
+    width:
+        Base channel count. The paper-scale network uses ``width=32``
+        with 32x32 inputs; the default laptop-scale config uses 16x16
+        synthetic images and a narrower trunk.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 16,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if image_size % 8 != 0:
+            raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.width = width
+        w = width
+
+        # Weight layer 0 (first layer, never quantized).
+        self.conv0 = Conv2d(in_channels, w, 3, padding=1, rng=rng)
+        self.bn0 = BatchNorm2d(w)
+        self.relu0 = ReLU()
+        # Weight layers 1-4: convolutional trunk.
+        self.conv1 = Conv2d(w, 2 * w, 3, padding=1, rng=rng)
+        self.bn1 = BatchNorm2d(2 * w)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(2 * w, 4 * w, 3, padding=1, rng=rng)
+        self.bn2 = BatchNorm2d(4 * w)
+        self.relu2 = ReLU()
+        self.pool2 = MaxPool2d(2)
+        self.conv3 = Conv2d(4 * w, 4 * w, 3, padding=1, rng=rng)
+        self.bn3 = BatchNorm2d(4 * w)
+        self.relu3 = ReLU()
+        self.conv4 = Conv2d(4 * w, 4 * w, 3, padding=1, rng=rng)
+        self.bn4 = BatchNorm2d(4 * w)
+        self.relu4 = ReLU()
+        self.pool4 = MaxPool2d(2)
+        self.flatten = Flatten()
+
+        spatial = image_size // 8
+        flat = 4 * w * spatial * spatial
+        # Weight layers 5-7: hidden fully-connected layers.
+        self.fc5 = Linear(flat, 8 * w, rng=rng)
+        self.relu5 = ReLU()
+        self.fc6 = Linear(8 * w, 4 * w, rng=rng)
+        self.relu6 = ReLU()
+        self.fc7 = Linear(4 * w, 4 * w, rng=rng)
+        self.relu7 = ReLU()
+        # Weight layer 8 (output layer, never quantized).
+        self.fc8 = Linear(4 * w, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.relu0(self.bn0(self.conv0(x)))
+        x = self.pool1(self.relu1(self.bn1(self.conv1(x))))
+        x = self.pool2(self.relu2(self.bn2(self.conv2(x))))
+        x = self.relu3(self.bn3(self.conv3(x)))
+        x = self.pool4(self.relu4(self.bn4(self.conv4(x))))
+        x = self.flatten(x)
+        x = self.relu5(self.fc5(x))
+        x = self.relu6(self.fc6(x))
+        x = self.relu7(self.fc7(x))
+        return self.fc8(x)
+
+    def tap_modules(self) -> "OrderedDict[str, Module]":
+        """Quantizable layer name -> post-ReLU module carrying its neurons."""
+        return OrderedDict(
+            [
+                ("conv1", self.relu1),
+                ("conv2", self.relu2),
+                ("conv3", self.relu3),
+                ("conv4", self.relu4),
+                ("fc5", self.relu5),
+                ("fc6", self.relu6),
+                ("fc7", self.relu7),
+            ]
+        )
+
+    def all_tap_modules(self) -> "OrderedDict[str, Module]":
+        """Taps for *all* weight layers 0-7 (used for Figure 2)."""
+        taps = OrderedDict([("conv0", self.relu0)])
+        taps.update(self.tap_modules())
+        return taps

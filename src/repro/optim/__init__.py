@@ -1,0 +1,27 @@
+"""Optimisers and learning-rate schedulers (the ``torch.optim`` replacement)."""
+
+from repro.optim.optimizers import (
+    SGD,
+    Adam,
+    AdaptiveGradClipper,
+    Optimizer,
+    clip_grad_norm_,
+)
+from repro.optim.schedulers import (
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+)
+
+__all__ = [
+    "Adam",
+    "AdaptiveGradClipper",
+    "CosineAnnealingLR",
+    "LRScheduler",
+    "MultiStepLR",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "clip_grad_norm_",
+]

@@ -1,0 +1,202 @@
+"""Gradient-descent optimisers.
+
+:class:`SGD` reproduces PyTorch's update rule exactly (weight decay
+added to the raw gradient, momentum buffer ``v = mu * v + g``, optional
+Nesterov lookahead) so the paper's hyper-parameters (momentum 0.9,
+weight decay 1e-4 / 5e-4) transfer unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list and a learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def reset_state(self) -> None:
+        """Clear internal optimiser state (momentum buffers etc.).
+
+        Called after a divergence rollback: restored weights must not be
+        pushed back toward the diverged region by stale momentum.
+        """
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def reset_state(self) -> None:
+        self._velocity = [None] * len(self.params)
+
+    def step(self) -> None:
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.array(grad, copy=True)
+                else:
+                    self._velocity[index] = (
+                        self.momentum * self._velocity[index] + grad
+                    )
+                if self.nesterov:
+                    grad = grad + self.momentum * self._velocity[index]
+                else:
+                    grad = self._velocity[index]
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (used by some ablations; the paper itself uses SGD)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._t = 0
+
+    def reset_state(self) -> None:
+        self._m = [None] * len(self.params)
+        self._v = [None] * len(self.params)
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self._m[index] is None:
+                self._m[index] = np.zeros_like(param.data)
+                self._v[index] = np.zeros_like(param.data)
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[index] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[index] / (1 - self.beta2 ** self._t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm_(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the norm *before* clipping. Non-finite gradients (overflowed
+    losses) are zeroed — skipping the step entirely — since scaling an
+    ``inf``/``nan`` gradient cannot recover it.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in params if p.grad is not None]
+    total = 0.0
+    finite = True
+    for param in params:
+        if not np.isfinite(param.grad).all():
+            finite = False
+            break
+        total += float((param.grad ** 2).sum())
+    if not finite:
+        for param in params:
+            param.grad[...] = 0.0
+        return float("inf")
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return norm
+
+
+class AdaptiveGradClipper:
+    """Clips gradients at a multiple of their running median norm.
+
+    A fixed clip threshold cannot serve every refinement regime: a CQ
+    student's healthy distillation gradients reach norms of several
+    hundred, while a 1-bit layer-wise student diverges *through* that
+    range. Tracking the recent median norm makes the threshold
+    scale-free: healthy training (norms drifting slowly) is never
+    clipped, while a runaway escalation is cut at ``factor`` times the
+    recent typical norm. Non-finite gradients always zero the step.
+
+    Parameters
+    ----------
+    factor:
+        Clip threshold as a multiple of the running median norm.
+    window:
+        Number of recent step norms the median is taken over.
+    warmup:
+        Steps before clipping engages (the median needs samples).
+    """
+
+    def __init__(self, factor: float = 10.0, window: int = 50, warmup: int = 5):
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        if window < 1 or warmup < 1:
+            raise ValueError("window and warmup must be positive")
+        self.factor = factor
+        self.window = window
+        self.warmup = warmup
+        self._norms: List[float] = []
+
+    def clip(self, params: Iterable[Parameter]) -> float:
+        """Clip in place; returns the pre-clip norm (``inf`` if zeroed)."""
+        if len(self._norms) < self.warmup:
+            threshold = float("inf")
+        else:
+            threshold = self.factor * float(np.median(self._norms))
+        norm = clip_grad_norm_(params, max(threshold, 1e-12))
+        if np.isfinite(norm):
+            self._norms.append(min(norm, threshold))
+            if len(self._norms) > self.window:
+                self._norms.pop(0)
+        return norm

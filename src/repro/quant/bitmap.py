@@ -1,0 +1,140 @@
+"""Bit-width arrangements: the object the CQ search produces.
+
+A :class:`BitWidthMap` assigns every filter (conv) or neuron (linear) of
+every quantized layer an integer bit-width. It also knows how many
+scalar weights each filter owns, so it can report the average bit-width
+the paper budgets against, and it serialises to/from plain dicts for
+checkpointing alongside model weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.quant.uniform import average_bit_width
+
+
+class BitWidthMap:
+    """Per-layer, per-filter integer bit-widths.
+
+    Parameters
+    ----------
+    bits:
+        Mapping from layer name to an int array with one entry per
+        output filter / neuron.
+    weights_per_filter:
+        Mapping from layer name to the number of scalar weights each
+        filter of that layer owns (``weight.size // num_filters``).
+    """
+
+    def __init__(self, bits: Mapping[str, np.ndarray], weights_per_filter: Mapping[str, int]):
+        self._bits: Dict[str, np.ndarray] = {}
+        self._weights_per_filter: Dict[str, int] = {}
+        for name, values in bits.items():
+            if name not in weights_per_filter:
+                raise KeyError(f"missing weight count for layer {name!r}")
+            array = np.asarray(values, dtype=np.int64)
+            if array.ndim != 1:
+                raise ValueError(f"bit array for {name!r} must be 1-D")
+            if (array < 0).any():
+                raise ValueError(f"negative bit-width in layer {name!r}")
+            self._bits[name] = array.copy()
+            self._weights_per_filter[name] = int(weights_per_filter[name])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._bits[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bits
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def layers(self) -> Tuple[str, ...]:
+        return tuple(self._bits)
+
+    def weights_per_filter(self, name: str) -> int:
+        return self._weights_per_filter[name]
+
+    def set_bits(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != self._bits[name].shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: {values.shape} vs "
+                f"{self._bits[name].shape}"
+            )
+        self._bits[name] = values.copy()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def average_bits(self) -> float:
+        """Weight-weighted average bit-width (the paper's budget metric)."""
+        return average_bit_width(self._bits, self._weights_per_filter)
+
+    def histogram(self, max_bits: int) -> Dict[int, int]:
+        """Number of scalar weights at each bit-width (Fig. 7 data)."""
+        counts = {bits: 0 for bits in range(max_bits + 1)}
+        for name, bit_array in self._bits.items():
+            per_filter = self._weights_per_filter[name]
+            values, occurrences = np.unique(bit_array, return_counts=True)
+            for value, occurrence in zip(values, occurrences):
+                counts[int(value)] = counts.get(int(value), 0) + int(occurrence) * per_filter
+        return counts
+
+    def pruned_fraction(self) -> float:
+        """Fraction of scalar weights assigned 0 bits."""
+        histogram = self.histogram(max_bits=int(self.max_bits()))
+        total = sum(histogram.values())
+        return histogram.get(0, 0) / total if total else 0.0
+
+    def max_bits(self) -> int:
+        return max(int(bit_array.max()) for bit_array in self._bits.values())
+
+    def total_weights(self) -> int:
+        return sum(
+            len(bit_array) * self._weights_per_filter[name]
+            for name, bit_array in self._bits.items()
+        )
+
+    def copy(self) -> "BitWidthMap":
+        return BitWidthMap(self._bits, self._weights_per_filter)
+
+    # ------------------------------------------------------------------
+    # Construction helpers / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, filter_counts: Mapping[str, int], weights_per_filter: Mapping[str, int], bits: int
+    ) -> "BitWidthMap":
+        """All filters at the same bit-width (the model-level baseline)."""
+        return cls(
+            {name: np.full(count, bits, dtype=np.int64) for name, count in filter_counts.items()},
+            weights_per_filter,
+        )
+
+    def to_dict(self) -> Dict[str, Dict[str, list]]:
+        return {
+            "bits": {name: bit_array.tolist() for name, bit_array in self._bits.items()},
+            "weights_per_filter": dict(self._weights_per_filter),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BitWidthMap":
+        return cls(
+            {name: np.asarray(values) for name, values in payload["bits"].items()},
+            payload["weights_per_filter"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BitWidthMap(layers={len(self)}, avg_bits={self.average_bits():.3f})"
+        )

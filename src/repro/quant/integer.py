@@ -1,0 +1,319 @@
+"""Integer-only inference: execute exported codes with integer MACs.
+
+Fake quantization (:mod:`repro.quant.qmodules`) simulates low-precision
+inference in float arithmetic. This module closes the deployment loop:
+it runs the *actual integer computation* a uniform-quantization
+accelerator would perform, using the same integer codes
+:mod:`repro.quant.export` stores, and verifies it reproduces the
+fake-quantized network's outputs.
+
+The algebra (per layer, filter ``f``): with the layer's symmetric weight
+range ``[lower, upper]``, weight codes ``cw`` and per-filter scale
+``s_f = (upper - lower) / (2**bits_f - 1)``, the fake-quantized weight is
+``w = s_f * cw + lower``. With ReLU activation range ``[0, a_up]`` and
+activation codes ``ca`` scaled by ``s_a = a_up / (2**a_bits - 1)``, the
+output is
+
+    y_f = sum(w * x) = s_f * s_a * sum(cw * ca)  +  lower * s_a * sum(ca)
+
+where both sums are pure integer accumulations — exactly eq. (2)'s
+levels flowing through a MAC array — followed by one float rescale
+(requantization) per output. This is the standard integer-arithmetic
+formulation of uniform quantization and why the paper calls the scheme
+hardware-friendly (Sec. I/II-A).
+
+Filters at 0 bits are pruned: their outputs are forced to zero (plus
+bias), matching the fake-quantized semantics.
+
+Use :func:`integer_mode` to run any fake-quantized model with integer
+MACs, or :func:`verify_integer_equivalence` to assert both paths agree.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.qmodules import QConv2d, QLinear, quantized_layers
+from repro.quant.uniform import quantization_levels
+from repro.tensor.functional import conv_output_size, im2col
+from repro.tensor.tensor import Tensor
+
+#: dtype of every integer accumulation (generous; see ``acc_bits_used``).
+ACC_DTYPE = np.int64
+
+
+@dataclass
+class IntegerLayerSpec:
+    """Deployable integer form of one quantized layer.
+
+    ``codes`` has the full weight shape; pruned filters hold zeros and
+    are masked out via ``bits_per_filter``.
+    """
+
+    name: str
+    kind: str  #: ``"conv"`` or ``"linear"``
+    codes: np.ndarray  #: int64, same shape as the float weight
+    bits_per_filter: np.ndarray
+    weight_lower: float
+    weight_upper: float
+    bias: Optional[np.ndarray]
+    act_bits: Optional[int]  #: None -> activations stay float
+    act_upper: float = 0.0
+    stride: int = 1
+    padding: int = 0
+    #: Widest signed accumulator (bits) any output needed so far; updated
+    #: on every integer forward. Relevant to low-precision-accumulator
+    #: designs like WrapNet [11].
+    acc_bits_used: int = 0
+
+    @property
+    def num_filters(self) -> int:
+        return int(self.codes.shape[0])
+
+    def filter_scales(self) -> np.ndarray:
+        """Per-filter requantization scale ``s_f`` (0 for pruned filters)."""
+        scales = np.zeros(self.num_filters)
+        span = self.weight_upper - self.weight_lower
+        for f, bits in enumerate(self.bits_per_filter):
+            if bits > 0:
+                scales[f] = span / (quantization_levels(int(bits)) - 1)
+        return scales
+
+    @property
+    def act_scale(self) -> float:
+        """Activation code scale ``s_a`` (1.0 when activations are float)."""
+        if self.act_bits is None:
+            return 1.0
+        return self.act_upper / (quantization_levels(self.act_bits) - 1)
+
+
+def compile_integer_layer(layer: Module, name: str = "") -> IntegerLayerSpec:
+    """Extract the integer execution spec from a QConv2d/QLinear.
+
+    Activation quantization is included only if the layer has it enabled
+    with a calibrated, non-degenerate range (mirroring the fake-quant
+    forward, which skips quantization for a degenerate range).
+    """
+    if not isinstance(layer, (QConv2d, QLinear)):
+        raise TypeError(f"expected QConv2d/QLinear, got {type(layer).__name__}")
+
+    weight = layer.weight.data
+    bound = float(np.max(np.abs(weight))) if weight.size else 0.0
+    lower, upper = -bound, bound
+    span = upper - lower
+
+    codes = np.zeros(weight.shape, dtype=ACC_DTYPE)
+    for f in range(layer.num_filters):
+        bits = int(layer.bits[f])
+        if bits == 0 or span == 0:
+            continue
+        levels = quantization_levels(bits)
+        clipped = np.clip(weight[f], lower, upper)
+        codes[f] = np.round((levels - 1) * (clipped - lower) / span).astype(ACC_DTYPE)
+
+    act_bits: Optional[int] = None
+    act_upper = 0.0
+    if layer.act_quant_enabled and layer.act_bits is not None:
+        layer._sync_observer_from_buffer()
+        if not layer.act_observer.initialized:
+            raise RuntimeError(
+                f"layer {name or type(layer).__name__!r} has activation "
+                "quantization enabled but an uncalibrated observer; run "
+                "calibrate_activations() first"
+            )
+        act_lower, candidate_upper = layer.act_observer.range_for_relu()
+        if candidate_upper > act_lower:
+            act_bits = layer.act_bits
+            act_upper = candidate_upper
+
+    if isinstance(layer, QConv2d):
+        kind, stride, padding = "conv", layer.stride, layer.padding
+    else:
+        kind, stride, padding = "linear", 1, 0
+
+    return IntegerLayerSpec(
+        name=name,
+        kind=kind,
+        codes=codes,
+        bits_per_filter=layer.bits.copy(),
+        weight_lower=lower,
+        weight_upper=upper,
+        bias=None if layer.bias is None else layer.bias.data.copy(),
+        act_bits=act_bits,
+        act_upper=act_upper,
+        stride=stride,
+        padding=padding,
+    )
+
+
+def _encode_activations(spec: IntegerLayerSpec, x: np.ndarray) -> np.ndarray:
+    """Quantize activations to integer codes (eq. 2 level indices)."""
+    levels = quantization_levels(spec.act_bits)
+    clipped = np.clip(x, 0.0, spec.act_upper)
+    return np.round((levels - 1) * clipped / spec.act_upper).astype(ACC_DTYPE)
+
+
+def _record_acc_width(spec: IntegerLayerSpec, acc: np.ndarray) -> None:
+    peak = int(np.abs(acc).max()) if acc.size else 0
+    bits = int(peak).bit_length() + 1  # sign bit
+    spec.acc_bits_used = max(spec.acc_bits_used, bits)
+
+
+def integer_forward(spec: IntegerLayerSpec, x: np.ndarray) -> np.ndarray:
+    """Run one layer with integer MACs; returns float outputs.
+
+    ``x`` is the float input (NCHW for conv, NC for linear). When the
+    spec carries activation quantization, the MAC loop is int x int;
+    otherwise the weights are integer and activations stay float
+    (weight-only quantized execution).
+    """
+    quantize_acts = spec.act_bits is not None
+    if quantize_acts:
+        operand = _encode_activations(spec, x)
+        s_a = spec.act_scale
+    else:
+        operand = x
+        s_a = 1.0
+
+    if spec.kind == "conv":
+        out = _integer_conv(spec, operand, s_a, integer_input=quantize_acts)
+    else:
+        out = _integer_linear(spec, operand, s_a, integer_input=quantize_acts)
+
+    pruned = spec.bits_per_filter == 0
+    if pruned.any():
+        if spec.kind == "conv":
+            out[:, pruned, :, :] = 0.0
+        else:
+            out[:, pruned] = 0.0
+    if spec.bias is not None:
+        if spec.kind == "conv":
+            out += spec.bias.reshape(1, -1, 1, 1)
+        else:
+            out += spec.bias.reshape(1, -1)
+    return out
+
+
+def _integer_linear(
+    spec: IntegerLayerSpec, operand: np.ndarray, s_a: float, integer_input: bool
+) -> np.ndarray:
+    acc = operand @ spec.codes.T  # (N, out) — int x int when integer_input
+    if integer_input:
+        _record_acc_width(spec, acc)
+    code_sum = operand.sum(axis=1, keepdims=True)  # (N, 1)
+    scales = spec.filter_scales().reshape(1, -1)
+    return scales * s_a * acc + spec.weight_lower * s_a * code_sum
+
+
+def _integer_conv(
+    spec: IntegerLayerSpec, operand: np.ndarray, s_a: float, integer_input: bool
+) -> np.ndarray:
+    n, _c, h, w = operand.shape
+    kh = kw = spec.codes.shape[2]
+    cols = im2col(
+        operand, (kh, kw), (spec.stride, spec.stride), (spec.padding, spec.padding)
+    )  # (N, C*kh*kw, P)
+    flat_codes = spec.codes.reshape(spec.num_filters, -1)  # (out, C*kh*kw)
+    acc = np.einsum("fk,nkp->nfp", flat_codes, cols)
+    if integer_input:
+        _record_acc_width(spec, acc)
+    code_sum = cols.sum(axis=1)  # (N, P)
+    scales = spec.filter_scales().reshape(1, -1, 1)
+    out = scales * s_a * acc + spec.weight_lower * s_a * code_sum[:, None, :]
+    oh = conv_output_size(h, kh, spec.stride, spec.padding)
+    ow = conv_output_size(w, kw, spec.stride, spec.padding)
+    return out.reshape(n, spec.num_filters, oh, ow)
+
+
+class IntegerModel:
+    """Compiled integer specs for every quantized layer of a model."""
+
+    def __init__(self, specs: Dict[str, IntegerLayerSpec]):
+        self._specs = specs
+
+    def __getitem__(self, name: str) -> IntegerLayerSpec:
+        return self._specs[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def max_acc_bits(self) -> int:
+        """Widest accumulator any layer needed so far (0 before any run)."""
+        return max((spec.acc_bits_used for spec in self._specs.values()), default=0)
+
+
+def compile_integer_model(model: Module) -> IntegerModel:
+    """Compile every quantized layer of ``model`` for integer execution."""
+    layers = quantized_layers(model)
+    if not layers:
+        raise ValueError("model has no quantized layers to compile")
+    return IntegerModel(
+        {name: compile_integer_layer(layer, name) for name, layer in layers.items()}
+    )
+
+
+@contextmanager
+def integer_mode(model: Module):
+    """Context manager: quantized layers execute with integer MACs.
+
+    Inside the context, every QConv2d/QLinear forward runs
+    :func:`integer_forward` on its compiled spec; unquantized layers
+    (first/output, batch norm, pooling) run normally in float, exactly
+    as a deployment with FP fallback layers would. The model should be
+    in ``eval()`` mode with calibrated observers.
+
+    Yields the :class:`IntegerModel`, whose per-layer ``acc_bits_used``
+    is populated as inference runs.
+    """
+    integer_model = compile_integer_model(model)
+    layers = quantized_layers(model)
+    try:
+        for name, layer in layers.items():
+            spec = integer_model[name]
+
+            def make_forward(spec: IntegerLayerSpec):
+                def forward(x: Tensor) -> Tensor:
+                    return Tensor(integer_forward(spec, np.asarray(x.data)))
+
+                return forward
+
+            # Instance attribute shadows the class forward; __call__ picks
+            # it up. Removed again in the finally block.
+            object.__setattr__(layer, "forward", make_forward(spec))
+        yield integer_model
+    finally:
+        for layer in layers.values():
+            if "forward" in layer.__dict__:
+                object.__delattr__(layer, "forward")
+
+
+def verify_integer_equivalence(
+    model: Module, inputs: np.ndarray, atol: float = 1e-8
+) -> Tuple[bool, float]:
+    """Compare fake-quantized and integer execution on ``inputs``.
+
+    Returns ``(equivalent, max_abs_difference)`` over the model outputs.
+    The two paths compute the same sums regrouped, so they agree to
+    float64 rounding; a mismatch indicates a real bug (e.g. code/scale
+    disagreement), not tolerance noise.
+    """
+    from repro.tensor.tensor import no_grad
+
+    was_training = model.training
+    model.eval()
+    x = Tensor(np.asarray(inputs, dtype=np.float64))
+    with no_grad():
+        fake = model(x).data.copy()
+        with integer_mode(model):
+            integer = model(x).data.copy()
+    model.train(was_training)
+    difference = float(np.max(np.abs(fake - integer))) if fake.size else 0.0
+    return bool(difference <= atol), difference

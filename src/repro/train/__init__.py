@@ -1,0 +1,5 @@
+"""Training and evaluation harness."""
+
+from repro.train.trainer import EpochMetrics, History, Trainer, evaluate_model
+
+__all__ = ["EpochMetrics", "History", "Trainer", "evaluate_model"]

@@ -1,0 +1,233 @@
+"""Generic epoch-based trainer with optional knowledge distillation.
+
+Used for both the pre-training phase (plain cross-entropy) and the CQ
+refining phase (distillation loss with a frozen full-precision teacher,
+Sec. III-D): pass ``teacher`` and a :class:`~repro.nn.DistillationLoss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.optim.optimizers import AdaptiveGradClipper, Optimizer, clip_grad_norm_
+from repro.optim.schedulers import LRScheduler
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass
+class EpochMetrics:
+    """Aggregated metrics of one pass over a loader."""
+
+    loss: float
+    accuracy: float
+    num_samples: int
+
+
+@dataclass
+class History:
+    """Per-epoch training curve."""
+
+    train: List[EpochMetrics] = field(default_factory=list)
+    val: List[EpochMetrics] = field(default_factory=list)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max((metrics.accuracy for metrics in self.val), default=float("nan"))
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val[-1].accuracy if self.val else float("nan")
+
+
+def evaluate_model(model: Module, loader) -> EpochMetrics:
+    """Loss/accuracy of ``model`` over a loader, in eval mode, no gradients."""
+    was_training = model.training
+    model.eval()
+    total_loss = 0.0
+    total_correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            batch = len(labels)
+            total_loss += float(loss.data) * batch
+            total_correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total += batch
+    model.train(was_training)
+    if total == 0:
+        raise ValueError("loader produced no batches")
+    return EpochMetrics(total_loss / total, total_correct / total, total)
+
+
+class Trainer:
+    """Mini-batch SGD training loop.
+
+    Parameters
+    ----------
+    model:
+        The network being optimised.
+    optimizer:
+        Any :class:`~repro.optim.Optimizer` over the model parameters.
+    loss_fn:
+        Either ``loss_fn(logits, labels)`` or, when ``teacher`` is set,
+        ``loss_fn(logits, labels, teacher_logits)`` (distillation).
+    teacher:
+        Optional frozen teacher evaluated under ``no_grad`` each batch.
+    scheduler:
+        Optional LR scheduler stepped once per epoch.
+    epoch_callback:
+        Optional ``callback(epoch_index, trainer, train_metrics)`` hook.
+    max_grad_norm:
+        Gradient clipping before each step. A float clips to that global
+        L2 norm; the string ``"auto"`` uses an
+        :class:`~repro.optim.AdaptiveGradClipper` (clip at 10x the
+        running median norm — scale-free, engages only on divergence).
+        Non-finite gradients always drop the step. ``None`` disables.
+    divergence_rollback:
+        Epoch-level safety net for fragile students (e.g. whole layers
+        at 1 bit): when an epoch's training loss worsens past the best
+        seen so far (by ``ROLLBACK_TOLERANCE``, or goes non-finite), the
+        best weights are restored, optimiser state is cleared and the
+        learning rate is halved — the diverged epoch cannot poison the
+        run. Healthy training never triggers it.
+    """
+
+    #: Relative loss increase over the best epoch that triggers a rollback.
+    ROLLBACK_TOLERANCE = 0.05
+    #: LR multiplier applied on each rollback.
+    ROLLBACK_BACKOFF = 0.5
+    #: Rollbacks after which the trainer stops intervening.
+    MAX_ROLLBACKS = 8
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Optional[Module] = None,
+        teacher: Optional[Module] = None,
+        scheduler: Optional[LRScheduler] = None,
+        epoch_callback: Optional[Callable] = None,
+        max_grad_norm=None,
+        divergence_rollback: bool = False,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss()
+        self.teacher = teacher
+        self.scheduler = scheduler
+        self.epoch_callback = epoch_callback
+        self._adaptive_clipper: Optional[AdaptiveGradClipper] = None
+        if max_grad_norm == "auto":
+            self._adaptive_clipper = AdaptiveGradClipper()
+        elif max_grad_norm is not None:
+            if not isinstance(max_grad_norm, (int, float)) or max_grad_norm <= 0:
+                raise ValueError(
+                    f'max_grad_norm must be a positive number, "auto" or None, '
+                    f"got {max_grad_norm!r}"
+                )
+        self.max_grad_norm = max_grad_norm
+        self.divergence_rollback = divergence_rollback
+        self.rollbacks = 0
+        if self.teacher is not None:
+            self.teacher.eval()
+
+    def train_epoch(self, loader) -> EpochMetrics:
+        """One optimisation pass over the loader."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0
+        total = 0
+        for images, labels in loader:
+            inputs = Tensor(images)
+            logits = self.model(inputs)
+            if self.teacher is not None:
+                with no_grad():
+                    teacher_logits = self.teacher(inputs)
+                loss = self.loss_fn(logits, labels, teacher_logits)
+            else:
+                loss = self.loss_fn(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self._adaptive_clipper is not None:
+                self._adaptive_clipper.clip(self.model.parameters())
+            elif self.max_grad_norm is not None:
+                clip_grad_norm_(self.model.parameters(), self.max_grad_norm)
+            self.optimizer.step()
+            batch = len(labels)
+            total_loss += float(loss.data) * batch
+            total_correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total += batch
+        if total == 0:
+            raise ValueError("loader produced no batches")
+        return EpochMetrics(total_loss / total, total_correct / total, total)
+
+    def training_loss(self, loader) -> float:
+        """Mean training loss over a loader without updating weights."""
+        was_training = self.model.training
+        self.model.eval()
+        total_loss = 0.0
+        total = 0
+        with no_grad():
+            for images, labels in loader:
+                inputs = Tensor(images)
+                logits = self.model(inputs)
+                if self.teacher is not None:
+                    teacher_logits = self.teacher(inputs)
+                    loss = self.loss_fn(logits, labels, teacher_logits)
+                else:
+                    loss = self.loss_fn(logits, labels)
+                batch = len(labels)
+                total_loss += float(loss.data) * batch
+                total += batch
+        self.model.train(was_training)
+        if total == 0:
+            raise ValueError("loader produced no batches")
+        return total_loss / total
+
+    def _back_off_lr(self) -> None:
+        """Halve the LR persistently (through any scheduler)."""
+        self.optimizer.lr *= self.ROLLBACK_BACKOFF
+        if self.scheduler is not None:
+            self.scheduler.base_lr *= self.ROLLBACK_BACKOFF
+
+    def fit(self, train_loader, val_loader=None, epochs: int = 1) -> History:
+        """Train for ``epochs`` epochs, recording train/val metrics."""
+        history = History()
+        best_loss = float("inf")
+        best_state = None
+        if self.divergence_rollback:
+            # Reference point: the untouched model. A first epoch that
+            # *worsens* this is already a divergence (the dead-network
+            # failure happens within one epoch).
+            best_loss = self.training_loss(train_loader)
+            best_state = self.model.state_dict()
+        for epoch in range(epochs):
+            train_metrics = self.train_epoch(train_loader)
+            history.train.append(train_metrics)
+            if self.divergence_rollback:
+                loss = train_metrics.loss
+                diverged = not np.isfinite(loss) or (
+                    loss > best_loss * (1 + self.ROLLBACK_TOLERANCE) + 1e-12
+                )
+                if diverged and self.rollbacks < self.MAX_ROLLBACKS:
+                    self.model.load_state_dict(best_state)
+                    self.optimizer.reset_state()
+                    self._back_off_lr()
+                    self.rollbacks += 1
+                elif loss < best_loss:
+                    best_loss = loss
+                    best_state = self.model.state_dict()
+            if val_loader is not None:
+                history.val.append(evaluate_model(self.model, val_loader))
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if self.epoch_callback is not None:
+                self.epoch_callback(epoch, self, train_metrics)
+        return history

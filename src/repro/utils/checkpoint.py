@@ -1,0 +1,39 @@
+"""Checkpointing: model weights + metadata to a single ``.npz`` file."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> None:
+    """Save a model's state dict (and JSON-serialisable metadata) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(model.state_dict())
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path: PathLike, strict: bool = True) -> Optional[Dict]:
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files if key != _METADATA_KEY}
+        metadata = None
+        if _METADATA_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
+    model.load_state_dict(state, strict=strict)
+    return metadata

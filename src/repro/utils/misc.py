@@ -1,0 +1,42 @@
+"""Miscellaneous utilities."""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def set_global_seed(seed: int) -> np.random.Generator:
+    """Seed Python's and numpy's legacy RNGs and return a fresh Generator.
+
+    Library code threads explicit ``np.random.Generator`` objects, but
+    examples and benchmarks call this once for belt-and-braces
+    determinism of any stray legacy-RNG use.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a module (weights, buffers and quantization state).
+
+    Gradients and forward hooks are dropped from the clone: gradients are
+    transient, and hooks hold references to scorer state that must not
+    leak across copies.
+    """
+    clone = copy.deepcopy(module)
+    for param in clone.parameters():
+        param.zero_grad()
+    for sub in clone.modules():
+        sub._forward_hooks.clear()
+    return clone
+
+
+def count_parameters(module: Module) -> int:
+    """Number of trainable scalars in a module."""
+    return module.num_parameters()

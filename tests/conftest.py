@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synth_cifar
+from repro.models.mlp import MLP
+from repro.optim.optimizers import SGD
+from repro.train.trainer import Trainer
+from repro.data.dataset import ArrayDataset, DataLoader
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, easily separable 4-class dataset (session-cached)."""
+    return make_synth_cifar(
+        num_classes=4,
+        image_size=8,
+        train_per_class=25,
+        val_per_class=10,
+        test_per_class=10,
+        noise=0.2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(tiny_dataset):
+    """An MLP pre-trained to high accuracy on the tiny dataset."""
+    ds = tiny_dataset
+    model = MLP(
+        in_features=3 * 8 * 8,
+        hidden=(32, 24, 16),
+        num_classes=ds.num_classes,
+        rng=np.random.default_rng(3),
+    )
+    loader = DataLoader(
+        ArrayDataset(ds.train_images, ds.train_labels),
+        batch_size=25,
+        shuffle=True,
+        seed=0,
+    )
+    trainer = Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9))
+    trainer.fit(loader, epochs=12)
+    model.eval()
+    return model
+
+
+def finite_difference(param_data: np.ndarray, loss_fn, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of ``loss_fn`` w.r.t. ``param_data``.
+
+    ``loss_fn`` must read ``param_data`` (mutated in place) on each call.
+    """
+    grad = np.zeros_like(param_data)
+    flat = param_data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = loss_fn()
+        flat[index] = original - eps
+        lower = loss_fn()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad

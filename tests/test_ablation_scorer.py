@@ -1,0 +1,179 @@
+"""Tests for the exact ablation scorer (eq. 4) and its agreement with the
+Taylor approximation (eq. 5)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.ablation import AblationScorer
+from repro.core.importance import ImportanceScorer
+from repro.models.mlp import MLP
+from repro.nn import Module
+
+
+@pytest.fixture(scope="module")
+def class_batches(tiny_dataset):
+    return tiny_dataset.class_batches(8, split="val")
+
+
+@pytest.fixture(scope="module")
+def ablation_result(trained_mlp, class_batches):
+    scorer = AblationScorer(trained_mlp)
+    result = scorer.score(class_batches)
+    return scorer, result
+
+
+class TestAblationScorer:
+    def test_scores_bounded_by_class_count(self, ablation_result, tiny_dataset):
+        _, result = ablation_result
+        assert result.num_classes == tiny_dataset.num_classes
+        for gamma in result.neuron_scores.values():
+            assert gamma.min() >= 0.0
+            assert gamma.max() <= tiny_dataset.num_classes + 1e-12
+
+    def test_one_score_per_unit(self, trained_mlp, ablation_result):
+        _, result = ablation_result
+        taps = trained_mlp.tap_modules()
+        for name in taps:
+            layer = getattr(trained_mlp, name)
+            assert result.neuron_scores[name].shape == (layer.out_features,)
+
+    def test_beta_shapes(self, ablation_result, tiny_dataset):
+        _, result = ablation_result
+        for name, beta in result.beta.items():
+            assert beta.shape[0] == tiny_dataset.num_classes
+            assert np.all((0.0 <= beta) & (beta <= 1.0))
+
+    def test_forward_pass_count_tracked(self, ablation_result):
+        scorer, _ = ablation_result
+        # One baseline + per-unit forwards per class at minimum.
+        assert scorer.forward_passes > 0
+
+    def test_model_forwards_restored(self, trained_mlp, ablation_result):
+        taps = trained_mlp.tap_modules()
+        assert all("forward" not in module.__dict__ for module in taps.values())
+
+    def test_empty_batches_rejected(self, trained_mlp):
+        with pytest.raises(ValueError, match="empty"):
+            AblationScorer(trained_mlp).score({})
+
+    def test_bad_class_index_rejected(self, trained_mlp, tiny_dataset):
+        batches = {99: tiny_dataset.val_images[:4]}
+        with pytest.raises(ValueError, match="out of range"):
+            AblationScorer(trained_mlp).score(batches)
+
+    def test_model_without_taps_rejected(self):
+        class Plain(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(TypeError, match="tap_modules"):
+            AblationScorer(Plain())
+
+
+class TestRelativeEps:
+    def test_invalid_relative_eps(self, trained_mlp):
+        with pytest.raises(ValueError, match="relative_eps"):
+            AblationScorer(trained_mlp, relative_eps=0.0)
+
+    def test_relative_threshold_is_stricter(self, trained_mlp, class_batches):
+        absolute = AblationScorer(trained_mlp).score(class_batches)
+        relative = AblationScorer(trained_mlp, relative_eps=0.05).score(class_batches)
+        for name in absolute.neuron_scores:
+            # A 5%-output-change requirement can only shrink criticality.
+            assert np.all(
+                relative.neuron_scores[name] <= absolute.neuron_scores[name] + 1e-12
+            )
+
+    def test_relative_desaturates_conv_channels(self):
+        from repro.models.vgg import VGGSmall
+
+        model = VGGSmall(num_classes=3, image_size=8, width=4, rng=np.random.default_rng(1))
+        model.eval()
+        rng = np.random.default_rng(2)
+        batches = {m: rng.standard_normal((4, 3, 8, 8)) for m in range(3)}
+        absolute = AblationScorer(model).score(batches)
+        relative = AblationScorer(model, relative_eps=0.05).score(batches)
+        # Under the absolute near-zero threshold conv channels saturate
+        # at the class count; the relative threshold discriminates.
+        saturated = sum(
+            float(np.ptp(absolute.neuron_scores[n]))
+            for n in ("conv1", "conv2", "conv3", "conv4")
+        )
+        spread = sum(
+            float(np.ptp(relative.neuron_scores[n]))
+            for n in ("conv1", "conv2", "conv3", "conv4")
+        )
+        assert spread >= saturated
+
+
+class TestConvTaps:
+    """Conv taps ablate whole output channels (filter granularity)."""
+
+    @pytest.fixture(scope="class")
+    def vgg_scores(self):
+        from repro.models.vgg import VGGSmall
+
+        model = VGGSmall(num_classes=3, image_size=8, width=4, rng=np.random.default_rng(1))
+        model.eval()
+        rng = np.random.default_rng(2)
+        batches = {m: rng.standard_normal((4, 3, 8, 8)) for m in range(3)}
+        scorer = AblationScorer(model)
+        return model, scorer, scorer.score(batches)
+
+    def test_one_score_per_conv_filter(self, vgg_scores):
+        model, _scorer, result = vgg_scores
+        for name in ("conv1", "conv2", "conv3", "conv4"):
+            layer = getattr(model, name)
+            assert result.neuron_scores[name].shape == (layer.out_channels,)
+
+    def test_filter_scores_identity_for_channel_granularity(self, vgg_scores):
+        _model, _scorer, result = vgg_scores
+        for name, gamma in result.neuron_scores.items():
+            np.testing.assert_array_equal(result.filter_scores()[name], gamma)
+
+    def test_forward_count_accounts_all_units(self, vgg_scores):
+        model, scorer, _result = vgg_scores
+        units = sum(
+            getattr(model, n).out_channels if n.startswith("conv") else getattr(model, n).out_features
+            for n in model.tap_modules()
+        )
+        classes = 3
+        # units per class + 1 baseline per class + 1 shape probe.
+        assert scorer.forward_passes == classes * (units + 1) + 1
+
+
+class TestTaylorAgreement:
+    """[16]'s claim, reproduced: the Taylor score (eq. 5) ranks units like
+    the exact ablation score (eq. 4)."""
+
+    def test_rankings_correlate(self, trained_mlp, class_batches, ablation_result):
+        _, exact = ablation_result
+        taylor = ImportanceScorer(trained_mlp).score(class_batches)
+        exact_scores = exact.filter_scores()
+        taylor_scores = taylor.filter_scores()
+        for name in exact_scores:
+            e, t = exact_scores[name], taylor_scores[name]
+            if np.ptp(e) == 0 or np.ptp(t) == 0:
+                continue  # constant scores have no ranking to compare
+            rho = stats.spearmanr(e, t).statistic
+            assert rho > 0.5, f"layer {name}: Taylor/ablation rank corr {rho:.2f}"
+
+    def test_dead_neurons_score_zero_in_both(self, tiny_dataset, class_batches):
+        # A neuron whose outgoing weights are zero influences nothing:
+        # both scorers must assign it score 0.
+        ds = tiny_dataset
+        model = MLP(
+            in_features=3 * 8 * 8,
+            hidden=(12, 8),
+            num_classes=ds.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        model.eval()
+        # Kill neuron 3 of fc1's output: zero its outgoing row AND the
+        # incoming weights of downstream consumers (column 3 of fc2).
+        model.fc2.weight.data[:, 3] = 0.0
+        exact = AblationScorer(model).score(class_batches)
+        taylor = ImportanceScorer(model).score(class_batches)
+        assert exact.neuron_scores["fc1"][3] == 0.0
+        assert taylor.neuron_scores["fc1"][3] == 0.0

@@ -1,0 +1,100 @@
+"""Tests for per-layer activation bit allocation (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.act_allocation import (
+    ActAllocationConfig,
+    allocate_activation_bits,
+    apply_activation_bits,
+)
+from repro.quant.qmodules import quantize_model, quantized_layers
+from repro.utils.misc import clone_module
+
+
+@pytest.fixture(scope="module")
+def quantized_mlp(trained_mlp):
+    model = clone_module(trained_mlp)
+    quantize_model(model, max_bits=4, act_bits=None)
+    return model
+
+
+class TestConfig:
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="min_bits"):
+            ActAllocationConfig(min_bits=0)
+        with pytest.raises(ValueError, match="min_bits"):
+            ActAllocationConfig(min_bits=9, max_bits=8)
+
+    def test_unreachable_budget(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            ActAllocationConfig(target_avg_bits=1.0, min_bits=2)
+
+
+class TestAllocation:
+    @pytest.fixture(scope="class")
+    def result(self, quantized_mlp, tiny_dataset):
+        config = ActAllocationConfig(target_avg_bits=4.0, max_bits=6, min_bits=2)
+        return allocate_activation_bits(quantized_mlp, tiny_dataset, config)
+
+    def test_budget_met_weighted_by_activations(self, result):
+        assert result.average_bits <= 4.0 + 1e-9
+
+    def test_bits_within_bounds(self, result):
+        for bits in result.act_bits.values():
+            assert 2 <= bits <= 6
+
+    def test_one_entry_per_quantized_layer(self, quantized_mlp, result):
+        assert set(result.act_bits) == set(quantized_layers(quantized_mlp))
+
+    def test_input_model_untouched(self, quantized_mlp, result):
+        for layer in quantized_layers(quantized_mlp).values():
+            assert layer.act_bits is None
+            assert not layer.act_quant_enabled
+
+    def test_evaluations_counted(self, result):
+        assert result.evaluations > 0
+        assert 0.0 <= result.search_accuracy <= 1.0
+
+    def test_generous_budget_keeps_max_bits(self, quantized_mlp, tiny_dataset):
+        config = ActAllocationConfig(target_avg_bits=6.0, max_bits=6, min_bits=2)
+        result = allocate_activation_bits(quantized_mlp, tiny_dataset, config)
+        assert all(bits == 6 for bits in result.act_bits.values())
+        # One evaluation (the initial one); no demotions needed.
+        assert result.evaluations == 1
+
+    def test_unquantized_model_rejected(self, trained_mlp, tiny_dataset):
+        config = ActAllocationConfig()
+        with pytest.raises(ValueError, match="quantize weights first"):
+            allocate_activation_bits(trained_mlp, tiny_dataset, config)
+
+
+class TestApply:
+    def test_apply_sets_layer_attributes(self, quantized_mlp, tiny_dataset):
+        model = clone_module(quantized_mlp)
+        names = list(quantized_layers(model))
+        assignment = {name: 3 for name in names}
+        apply_activation_bits(model, assignment)
+        for layer in quantized_layers(model).values():
+            assert layer.act_bits == 3
+            assert layer.act_quant_enabled
+
+    def test_apply_unknown_layer_rejected(self, quantized_mlp):
+        model = clone_module(quantized_mlp)
+        with pytest.raises(KeyError, match="unknown"):
+            apply_activation_bits(model, {"nonexistent": 4})
+
+    def test_allocated_model_still_evaluates(self, quantized_mlp, tiny_dataset):
+        from repro.quant.qmodules import calibrate_activations
+        from repro.tensor.tensor import Tensor, no_grad
+
+        model = clone_module(quantized_mlp)
+        config = ActAllocationConfig(target_avg_bits=3.0, max_bits=4, min_bits=2)
+        result = allocate_activation_bits(model, tiny_dataset, config)
+        apply_activation_bits(model, result.act_bits)
+        calibrate_activations(model, [tiny_dataset.train_images[:50]])
+        model.eval()
+        with no_grad():
+            logits = model(Tensor(tiny_dataset.test_images[:20]))
+        assert logits.shape == (20, tiny_dataset.num_classes)
+        assert np.isfinite(logits.data).all()

@@ -1,0 +1,199 @@
+"""Tests for the histogram observer, comparison utilities and result IO."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    arrangement_agreement,
+    bit_histogram_distance,
+    pruning_overlap,
+    score_kendall_tau,
+    score_rank_correlation,
+)
+from repro.experiments.io import load_result, save_result
+from repro.quant import BitWidthMap
+from repro.quant.histogram_observer import HistogramObserver
+
+
+class TestHistogramObserver:
+    def test_observes_and_initializes(self):
+        obs = HistogramObserver(num_bins=64)
+        obs.observe(np.random.default_rng(0).uniform(0, 5, 1000))
+        assert obs.initialized
+        assert obs.range_max == pytest.approx(5.0, rel=0.01)
+
+    def test_negative_values_ignored(self):
+        obs = HistogramObserver(num_bins=64)
+        obs.observe(np.array([-3.0, -1.0, 2.0]))
+        assert obs.range_max == pytest.approx(2.0)
+
+    def test_uninitialized_raises(self):
+        with pytest.raises(RuntimeError):
+            HistogramObserver().optimal_range(4)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            HistogramObserver(num_bins=2)
+        with pytest.raises(ValueError):
+            HistogramObserver(candidates=1)
+        obs = HistogramObserver()
+        obs.observe(np.ones(10))
+        with pytest.raises(ValueError):
+            obs.optimal_range(0)
+
+    def test_optimal_range_within_observed(self):
+        obs = HistogramObserver()
+        obs.observe(np.random.default_rng(0).uniform(0, 3, 5000))
+        _, clip = obs.optimal_range(4)
+        assert 0 < clip <= 3.0 + 1e-9
+
+    def test_outlier_clipped_at_low_bits(self):
+        """With an extreme outlier, the MSE-optimal 2-bit clip should sit
+        far below the outlier (where the mass is)."""
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 20000)
+        values[0] = 100.0
+        obs = HistogramObserver(num_bins=512, candidates=128)
+        obs.observe(values)
+        _, clip = obs.optimal_range(2)
+        assert clip < 10.0
+
+    def test_higher_bits_allow_wider_clip(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.uniform(0, 1, 5000), rng.uniform(0, 4, 500)])
+        obs = HistogramObserver(num_bins=256, candidates=64)
+        obs.observe(values)
+        _, clip2 = obs.optimal_range(2)
+        _, clip8 = obs.optimal_range(8)
+        assert clip8 >= clip2 - 1e-9
+
+    def test_rebinning_preserves_total_count(self):
+        obs = HistogramObserver(num_bins=64)
+        obs.observe(np.random.default_rng(0).uniform(0, 1, 1000))
+        count_before = obs.counts.sum()
+        obs.observe(np.array([50.0]))  # forces rebin
+        assert obs.counts.sum() == pytest.approx(count_before + 1)
+
+    def test_reset(self):
+        obs = HistogramObserver()
+        obs.observe(np.ones(5))
+        obs.reset()
+        assert not obs.initialized
+
+
+class TestComparison:
+    def make_maps(self):
+        map_a = BitWidthMap(
+            {"l1": np.array([0, 2, 4]), "l2": np.array([1, 1])},
+            {"l1": 3, "l2": 5},
+        )
+        map_b = BitWidthMap(
+            {"l1": np.array([0, 2, 2]), "l2": np.array([1, 4])},
+            {"l1": 3, "l2": 5},
+        )
+        return map_a, map_b
+
+    def test_rank_correlation_identity(self):
+        scores = {"l": np.array([1.0, 2.0, 3.0, 4.0])}
+        result = score_rank_correlation(scores, scores)
+        assert result["l"] == pytest.approx(1.0)
+
+    def test_rank_correlation_reversed(self):
+        a = {"l": np.array([1.0, 2.0, 3.0, 4.0])}
+        b = {"l": np.array([4.0, 3.0, 2.0, 1.0])}
+        assert score_rank_correlation(a, b)["l"] == pytest.approx(-1.0)
+
+    def test_rank_correlation_constant_is_nan(self):
+        a = {"l": np.ones(4)}
+        b = {"l": np.arange(4.0)}
+        assert np.isnan(score_rank_correlation(a, b)["l"])
+
+    def test_rank_correlation_layer_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            score_rank_correlation({"a": np.ones(2)}, {"b": np.ones(2)})
+
+    def test_kendall_tau_identity(self):
+        scores = {"l": np.array([3.0, 1.0, 2.0])}
+        assert score_kendall_tau(scores, scores)["l"] == pytest.approx(1.0)
+
+    def test_agreement_counts_matching_filters(self):
+        map_a, map_b = self.make_maps()
+        # l1 agrees on 2/3, l2 on 1/2 -> 3/5
+        assert arrangement_agreement(map_a, map_b) == pytest.approx(3 / 5)
+
+    def test_agreement_layer_mismatch_raises(self):
+        map_a, _ = self.make_maps()
+        other = BitWidthMap({"x": np.array([1])}, {"x": 1})
+        with pytest.raises(ValueError):
+            arrangement_agreement(map_a, other)
+
+    def test_pruning_overlap_jaccard(self):
+        map_a = BitWidthMap({"l": np.array([0, 0, 4])}, {"l": 1})
+        map_b = BitWidthMap({"l": np.array([0, 4, 0])}, {"l": 1})
+        # pruned sets {0,1} and {0,2}: intersection 1, union 3
+        assert pruning_overlap(map_a, map_b) == pytest.approx(1 / 3)
+
+    def test_pruning_overlap_no_pruning_nan(self):
+        map_a = BitWidthMap({"l": np.array([4, 4])}, {"l": 1})
+        assert np.isnan(pruning_overlap(map_a, map_a))
+
+    def test_histogram_distance_zero_for_identical(self):
+        map_a, _ = self.make_maps()
+        assert bit_histogram_distance(map_a, map_a) == pytest.approx(0.0)
+
+    def test_histogram_distance_bounded(self):
+        map_a, map_b = self.make_maps()
+        distance = bit_histogram_distance(map_a, map_b)
+        assert 0.0 <= distance <= 1.0
+
+    def test_histogram_distance_disjoint_is_one(self):
+        map_a = BitWidthMap({"l": np.array([0, 0])}, {"l": 2})
+        map_b = BitWidthMap({"l": np.array([4, 4])}, {"l": 2})
+        assert bit_histogram_distance(map_a, map_b) == pytest.approx(1.0)
+
+
+class TestResultIO:
+    def test_roundtrip_dataclass(self, tmp_path):
+        from repro.experiments.fig4 import PanelResult
+
+        panel = PanelResult(
+            model_name="vgg-small",
+            dataset_name="synth10",
+            fp_accuracy=0.9,
+            cq_accuracy={2: 0.8},
+            apn_accuracy={2: 0.75},
+            cq_avg_bits={2: 1.97},
+        )
+        path = tmp_path / "panel.json"
+        save_result(panel, path, metadata={"scale": "tiny"})
+        loaded = load_result(path)
+        assert loaded["result"]["fp_accuracy"] == 0.9
+        assert loaded["result"]["cq_accuracy"]["2"] == 0.8
+        assert loaded["metadata"]["scale"] == "tiny"
+
+    def test_numpy_values_converted(self, tmp_path):
+        payload = {"array": np.arange(3), "scalar": np.float64(1.5)}
+        path = tmp_path / "x.json"
+        save_result(payload, path)
+        loaded = load_result(path)
+        assert loaded["result"]["array"] == [0, 1, 2]
+        assert loaded["result"]["scalar"] == 1.5
+
+    def test_tuple_keys_flattened(self, tmp_path):
+        payload = {(1, 3): 0.5}
+        path = tmp_path / "y.json"
+        save_result(payload, path)
+        assert load_result(path)["result"]["1-3"] == 0.5
+
+    def test_nan_becomes_null(self, tmp_path):
+        path = tmp_path / "z.json"
+        save_result({"value": float("nan")}, path)
+        raw = json.loads(path.read_text())
+        assert raw["result"]["value"] is None
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.json"
+        save_result({"k": 1}, path)
+        assert path.exists()

@@ -1,0 +1,135 @@
+"""Tests for the layer-wise mixed-precision baseline (HAQ granularity)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.layerwise import (
+    LayerwiseConfig,
+    search_layerwise_bits,
+    train_layerwise_baseline,
+)
+from repro.core.config import CQConfig
+
+
+class TestLayerwiseConfig:
+    def test_defaults_valid(self):
+        config = LayerwiseConfig()
+        assert config.method == "greedy"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            LayerwiseConfig(method="rl")
+
+    def test_inconsistent_bit_bounds_rejected(self):
+        with pytest.raises(ValueError, match="min_bits"):
+            LayerwiseConfig(min_bits=5, max_bits=4)
+
+    def test_unreachable_budget_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            LayerwiseConfig(target_avg_bits=0.5, min_bits=1)
+
+
+class TestGreedySearch:
+    @pytest.fixture(scope="class")
+    def search_result(self, trained_mlp, tiny_dataset):
+        config = LayerwiseConfig(target_avg_bits=2.0, max_bits=4, method="greedy")
+        return search_layerwise_bits(trained_mlp, tiny_dataset, config)
+
+    def test_budget_met(self, search_result):
+        assert search_result.average_bits <= 2.0 + 1e-9
+
+    def test_one_width_per_layer(self, search_result):
+        for name, bits in search_result.layer_bits.items():
+            per_filter = search_result.bit_map[name]
+            assert (per_filter == bits).all(), f"layer {name} is not uniform"
+
+    def test_bits_within_bounds(self, search_result):
+        for bits in search_result.layer_bits.values():
+            assert 1 <= bits <= 4
+
+    def test_search_evaluated_candidates(self, search_result):
+        # Greedy evaluates every demotion candidate per round: more
+        # evaluations than layers.
+        assert search_result.evaluations > len(search_result.layer_bits)
+
+    def test_accuracy_is_probability(self, search_result):
+        assert 0.0 <= search_result.search_accuracy <= 1.0
+
+
+class TestAnnealSearch:
+    def test_budget_met_and_reproducible(self, trained_mlp, tiny_dataset):
+        config = LayerwiseConfig(
+            target_avg_bits=2.0,
+            max_bits=4,
+            method="anneal",
+            anneal_iterations=30,
+            seed=11,
+        )
+        first = search_layerwise_bits(trained_mlp, tiny_dataset, config)
+        second = search_layerwise_bits(trained_mlp, tiny_dataset, config)
+        assert first.average_bits <= 2.0 + 1e-9
+        assert first.layer_bits == second.layer_bits
+
+    def test_anneal_no_worse_than_feasible_start(self, trained_mlp, tiny_dataset):
+        config = LayerwiseConfig(
+            target_avg_bits=2.0, max_bits=4, method="anneal", anneal_iterations=40
+        )
+        result = search_layerwise_bits(trained_mlp, tiny_dataset, config)
+        # Annealing keeps the best-seen assignment, so the reported
+        # accuracy can never be below a 1-bit-everywhere floor of 0.
+        assert result.search_accuracy >= 0.0
+        assert result.average_bits <= 2.0 + 1e-9
+
+
+class TestTrainLayerwiseBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self, trained_mlp, tiny_dataset):
+        config = LayerwiseConfig(target_avg_bits=2.0, max_bits=4, act_bits=4)
+        cq_config = CQConfig(refine_epochs=4, refine_lr=0.01, refine_batch_size=25)
+        return train_layerwise_baseline(trained_mlp, tiny_dataset, config, cq_config)
+
+    def test_model_carries_searched_bits(self, baseline):
+        from repro.quant.qmodules import extract_bit_map
+
+        applied = extract_bit_map(baseline.model)
+        for name in baseline.search.bit_map:
+            np.testing.assert_array_equal(
+                applied[name], baseline.search.bit_map[name]
+            )
+
+    def test_refinement_recovers_accuracy(self, baseline):
+        assert (
+            baseline.accuracy_after_refine >= baseline.accuracy_before_refine - 0.05
+        )
+
+    def test_original_model_untouched(self, trained_mlp, baseline):
+        from repro.quant.qmodules import quantized_layers
+
+        assert not quantized_layers(trained_mlp)
+
+    def test_skip_refine(self, trained_mlp, tiny_dataset):
+        config = LayerwiseConfig(target_avg_bits=3.0, max_bits=4)
+        cq_config = CQConfig(refine_epochs=0)
+        result = train_layerwise_baseline(trained_mlp, tiny_dataset, config, cq_config)
+        assert result.accuracy_after_refine == result.accuracy_before_refine
+        assert not result.refine_history.train
+
+
+class TestBudgetProperty:
+    """The layer-wise search must satisfy any reachable budget."""
+
+    @pytest.mark.parametrize("budget", [1.0, 1.7, 2.5, 3.9])
+    def test_any_budget_met(self, trained_mlp, tiny_dataset, budget):
+        config = LayerwiseConfig(target_avg_bits=budget, max_bits=4, min_bits=1)
+        result = search_layerwise_bits(trained_mlp, tiny_dataset, config)
+        assert result.average_bits <= budget + 1e-9
+
+    def test_min_bits_floor_respected_even_if_budget_missed(
+        self, trained_mlp, tiny_dataset
+    ):
+        # min_bits=2 with budget 2.0: the only feasible assignment is
+        # everything at exactly 2 bits.
+        config = LayerwiseConfig(target_avg_bits=2.0, max_bits=4, min_bits=2)
+        result = search_layerwise_bits(trained_mlp, tiny_dataset, config)
+        assert all(bits >= 2 for bits in result.layer_bits.values())
+        assert result.average_bits <= 2.0 + 1e-9

@@ -1,0 +1,131 @@
+"""Tests for BitWidthMap: statistics, serialisation, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import BitWidthMap
+
+
+def simple_map():
+    return BitWidthMap(
+        {"conv": np.array([0, 2, 4, 4]), "fc": np.array([1, 3])},
+        {"conv": 9, "fc": 10},
+    )
+
+
+class TestConstruction:
+    def test_missing_weight_count_raises(self):
+        with pytest.raises(KeyError):
+            BitWidthMap({"a": np.array([1])}, {})
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ValueError):
+            BitWidthMap({"a": np.zeros((2, 2))}, {"a": 1})
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            BitWidthMap({"a": np.array([-1])}, {"a": 1})
+
+    def test_data_copied_not_aliased(self):
+        bits = np.array([1, 2])
+        bit_map = BitWidthMap({"a": bits}, {"a": 1})
+        bits[0] = 7
+        assert bit_map["a"][0] == 1
+
+    def test_uniform_constructor(self):
+        bit_map = BitWidthMap.uniform({"a": 3, "b": 2}, {"a": 4, "b": 5}, bits=3)
+        assert bit_map.average_bits() == pytest.approx(3.0)
+        np.testing.assert_array_equal(bit_map["a"], [3, 3, 3])
+
+
+class TestStatistics:
+    def test_average_bits_weighted(self):
+        bit_map = simple_map()
+        expected = (np.array([0, 2, 4, 4]).sum() * 9 + np.array([1, 3]).sum() * 10) / (
+            4 * 9 + 2 * 10
+        )
+        assert bit_map.average_bits() == pytest.approx(expected)
+
+    def test_histogram_counts_weights(self):
+        histogram = simple_map().histogram(max_bits=4)
+        assert histogram[0] == 9
+        assert histogram[2] == 9
+        assert histogram[4] == 18
+        assert histogram[1] == 10
+        assert histogram[3] == 10
+
+    def test_histogram_includes_empty_bins(self):
+        histogram = BitWidthMap({"a": np.array([4])}, {"a": 2}).histogram(4)
+        assert histogram[1] == 0
+
+    def test_pruned_fraction(self):
+        bit_map = simple_map()
+        assert bit_map.pruned_fraction() == pytest.approx(9 / 56)
+
+    def test_max_bits(self):
+        assert simple_map().max_bits() == 4
+
+    def test_total_weights(self):
+        assert simple_map().total_weights() == 56
+
+    def test_len_and_iteration(self):
+        bit_map = simple_map()
+        assert len(bit_map) == 2
+        assert sorted(bit_map) == ["conv", "fc"]
+        assert "conv" in bit_map
+
+
+class TestMutation:
+    def test_set_bits(self):
+        bit_map = simple_map()
+        bit_map.set_bits("fc", np.array([4, 4]))
+        np.testing.assert_array_equal(bit_map["fc"], [4, 4])
+
+    def test_set_bits_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            simple_map().set_bits("fc", np.array([1, 2, 3]))
+
+    def test_copy_independent(self):
+        bit_map = simple_map()
+        clone = bit_map.copy()
+        clone.set_bits("fc", np.array([0, 0]))
+        assert bit_map["fc"].sum() == 4
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        bit_map = simple_map()
+        restored = BitWidthMap.from_dict(bit_map.to_dict())
+        assert restored.average_bits() == pytest.approx(bit_map.average_bits())
+        np.testing.assert_array_equal(restored["conv"], bit_map["conv"])
+
+    def test_repr_contains_average(self):
+        assert "avg_bits" in repr(simple_map())
+
+
+class TestProperties:
+    @given(
+        bits=hnp.arrays(dtype=np.int64, shape=st.integers(1, 30), elements=st.integers(0, 8)),
+        per_filter=st.integers(1, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_total_equals_total_weights(self, bits, per_filter):
+        bit_map = BitWidthMap({"layer": bits}, {"layer": per_filter})
+        histogram = bit_map.histogram(8)
+        assert sum(histogram.values()) == bit_map.total_weights()
+
+    @given(
+        bits=hnp.arrays(dtype=np.int64, shape=st.integers(1, 30), elements=st.integers(0, 8)),
+        per_filter=st.integers(1, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_average_consistent_with_histogram(self, bits, per_filter):
+        bit_map = BitWidthMap({"layer": bits}, {"layer": per_filter})
+        histogram = bit_map.histogram(8)
+        expected = sum(b * count for b, count in histogram.items()) / sum(
+            histogram.values()
+        )
+        assert bit_map.average_bits() == pytest.approx(expected)

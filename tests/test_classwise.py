@@ -1,0 +1,168 @@
+"""Tests for repro.analysis.classwise: per-class accuracy analysis."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.analysis.classwise import (
+    ClasswiseReport,
+    classwise_report,
+    kept_importance_per_class,
+    per_class_accuracy,
+    render_classwise,
+)
+from repro.core.importance import ImportanceResult
+from repro.nn.module import Module
+from repro.quant.bitmap import BitWidthMap
+from repro.tensor.tensor import Tensor
+
+
+class FixedPredictor(Module):
+    """Predicts a fixed class sequence regardless of input."""
+
+    def __init__(self, predictions, num_classes):
+        super().__init__()
+        self.predictions = np.asarray(predictions)
+        self.num_classes = num_classes
+        self._cursor = 0
+
+    def forward(self, x):
+        n = x.shape[0]
+        logits = np.zeros((n, self.num_classes))
+        chunk = self.predictions[self._cursor : self._cursor + n]
+        logits[np.arange(n), chunk] = 1.0
+        self._cursor += n
+        return Tensor(logits)
+
+
+class TestPerClassAccuracy:
+    def test_perfect_predictor(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        model = FixedPredictor(labels, num_classes=3)
+        accuracy = per_class_accuracy(
+            model, np.zeros((6, 4)), labels, num_classes=3
+        )
+        np.testing.assert_allclose(accuracy, [1.0, 1.0, 1.0])
+
+    def test_single_class_failure_isolated(self):
+        labels = np.array([0, 0, 1, 1])
+        model = FixedPredictor(np.array([0, 0, 0, 0]), num_classes=2)
+        accuracy = per_class_accuracy(model, np.zeros((4, 4)), labels, num_classes=2)
+        np.testing.assert_allclose(accuracy, [1.0, 0.0])
+
+    def test_missing_class_reports_nan(self):
+        labels = np.array([0, 0])
+        model = FixedPredictor(np.array([0, 0]), num_classes=3)
+        accuracy = per_class_accuracy(model, np.zeros((2, 4)), labels, num_classes=3)
+        assert accuracy[0] == 1.0
+        assert np.isnan(accuracy[1]) and np.isnan(accuracy[2])
+
+    def test_batching_consistent(self):
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        model = FixedPredictor(labels, num_classes=2)
+        accuracy = per_class_accuracy(
+            model, np.zeros((6, 4)), labels, num_classes=2, batch_size=2
+        )
+        np.testing.assert_allclose(accuracy, [1.0, 1.0])
+
+    def test_length_mismatch_rejected(self):
+        model = FixedPredictor(np.zeros(2, dtype=int), num_classes=2)
+        with pytest.raises(ValueError, match="disagree"):
+            per_class_accuracy(model, np.zeros((3, 4)), np.zeros(2), num_classes=2)
+
+
+class TestKeptImportance:
+    def make_importance(self, beta_by_layer, num_classes):
+        neuron_scores = OrderedDict(
+            (name, beta.sum(axis=0)) for name, beta in beta_by_layer.items()
+        )
+        return ImportanceResult(
+            neuron_scores=neuron_scores,
+            beta=OrderedDict(beta_by_layer),
+            num_classes=num_classes,
+        )
+
+    def test_all_filters_kept(self):
+        beta = np.array([[0.5, 0.5], [0.2, 0.8]])  # (M=2, F=2)
+        importance = self.make_importance({"fc": beta}, num_classes=2)
+        bit_map = BitWidthMap({"fc": np.array([2, 2])}, {"fc": 4})
+        kept = kept_importance_per_class(importance, bit_map)
+        np.testing.assert_allclose(kept, [1.0, 1.0])
+
+    def test_class_specific_pruning_detected(self):
+        # Filter 0 serves class 0 only; filter 1 serves class 1 only.
+        beta = np.array([[1.0, 0.0], [0.0, 1.0]])
+        importance = self.make_importance({"fc": beta}, num_classes=2)
+        bit_map = BitWidthMap({"fc": np.array([0, 4])}, {"fc": 4})  # prune filter 0
+        kept = kept_importance_per_class(importance, bit_map)
+        np.testing.assert_allclose(kept, [0.0, 1.0])
+
+    def test_conv_beta_reduced_with_max(self):
+        # (M=1, F=2, H=1, W=2): filter 0 peaks at 0.9, filter 1 at 0.1.
+        beta = np.array([[[[0.9, 0.1]], [[0.1, 0.1]]]])
+        importance = self.make_importance({"conv": beta}, num_classes=1)
+        bit_map = BitWidthMap({"conv": np.array([4, 0])}, {"conv": 9})
+        kept = kept_importance_per_class(importance, bit_map)
+        np.testing.assert_allclose(kept, [0.9 / 1.0])
+
+    def test_layer_not_in_map_skipped(self):
+        beta = np.array([[1.0, 1.0]])
+        importance = self.make_importance(
+            {"fc": beta, "other": beta}, num_classes=1
+        )
+        bit_map = BitWidthMap({"fc": np.array([4, 4])}, {"fc": 4})
+        kept = kept_importance_per_class(importance, bit_map)
+        np.testing.assert_allclose(kept, [1.0])
+
+    def test_filter_count_mismatch_rejected(self):
+        beta = np.array([[1.0, 1.0, 1.0]])
+        importance = self.make_importance({"fc": beta}, num_classes=1)
+        bit_map = BitWidthMap({"fc": np.array([4, 4])}, {"fc": 4})
+        with pytest.raises(ValueError, match="mismatch"):
+            kept_importance_per_class(importance, bit_map)
+
+
+class TestReportAndRender:
+    def make_report(self):
+        return ClasswiseReport(
+            fp_accuracy=np.array([0.9, 0.8, 0.95]),
+            quantized_accuracy=np.array([0.85, 0.6, 0.95]),
+            kept_importance=np.array([0.9, 0.4, 1.0]),
+        )
+
+    def test_drop_and_worst_class(self):
+        report = self.make_report()
+        np.testing.assert_allclose(report.drop, [0.05, 0.2, 0.0])
+        assert report.worst_class() == 1
+        assert report.spread() == pytest.approx(0.2)
+
+    def test_render_contains_all_classes(self):
+        text = render_classwise(self.make_report())
+        assert "kept importance" in text
+        assert "worst class: 1" in text
+        for cls in range(3):
+            assert f"\n{cls} " in text or text.startswith(f"{cls} ")
+
+    def test_end_to_end_on_real_models(self, trained_mlp, tiny_dataset):
+        from repro.core.config import CQConfig
+        from repro.core.pipeline import ClassBasedQuantizer
+
+        config = CQConfig(
+            target_avg_bits=2.0, max_bits=4, act_bits=None,
+            samples_per_class=8, refine_epochs=0, seed=0,
+        )
+        result = ClassBasedQuantizer(config).quantize(trained_mlp, tiny_dataset)
+        report = classwise_report(
+            trained_mlp,
+            result.model,
+            tiny_dataset.test_images,
+            tiny_dataset.test_labels,
+            tiny_dataset.num_classes,
+            importance=result.importance,
+            bit_map=result.bit_map,
+        )
+        assert report.num_classes == tiny_dataset.num_classes
+        assert np.all(np.isfinite(report.fp_accuracy))
+        assert report.kept_importance is not None
+        assert np.all(report.kept_importance <= 1.0 + 1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestListingCommands:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg-small" in out
+        assert "resnet20-x5" in out
+
+    def test_datasets_lists_presets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "synth10" in out and "synth100" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["quantize", "--model", "alexnet"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+    def test_granularity_figure_registered(self):
+        # Bad scale still proves the figure name parses.
+        with pytest.raises(SystemExit):
+            main(["figure", "granularity", "--scale", "bogus"])
+
+    def test_cost_command_registered(self):
+        with pytest.raises(SystemExit):
+            main(["cost", "--model", "alexnet"])
+
+
+@pytest.mark.slow
+class TestCostCommand:
+    def test_cost_mlp_end_to_end(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path / "cache")
+        presets.clear_caches()
+        code = main(
+            [
+                "cost",
+                "--model", "mlp",
+                "--dataset", "synth10",
+                "--scale", "tiny",
+                "--bits", "2.0",
+                "--act-bits", "2",
+                "--refine-epochs", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-layer hardware cost" in out
+        assert "arrangement cost comparison" in out
+        assert "uniform" in out
+
+
+@pytest.mark.slow
+class TestQuantizeCommand:
+    def test_quantize_mlp_end_to_end(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path / "cache")
+        presets.clear_caches()
+        checkpoint = tmp_path / "quantized.npz"
+        code = main(
+            [
+                "quantize",
+                "--model", "mlp",
+                "--dataset", "synth10",
+                "--scale", "tiny",
+                "--bits", "2.0",
+                "--refine-epochs", "2",
+                "--save", str(checkpoint),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Class-based Quantization report" in out
+        assert checkpoint.exists()
+        with np.load(checkpoint) as archive:
+            assert len(archive.files) > 1

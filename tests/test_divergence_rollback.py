@@ -1,0 +1,113 @@
+"""Tests for the Trainer's divergence rollback and optimizer state reset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.mlp import MLP
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, MultiStepLR
+from repro.train.trainer import Trainer
+
+
+def make_loader(dataset, batch_size=25):
+    return DataLoader(
+        ArrayDataset(dataset.train_images, dataset.train_labels),
+        batch_size=batch_size,
+        shuffle=True,
+        seed=0,
+    )
+
+
+def fresh_mlp(dataset, seed=0):
+    return MLP(
+        in_features=3 * 8 * 8,
+        hidden=(16, 12),
+        num_classes=dataset.num_classes,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestOptimizerReset:
+    def test_sgd_velocity_cleared(self):
+        param = Parameter(np.ones(3))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.ones(3)
+        optimizer.step()
+        assert optimizer._velocity[0] is not None
+        optimizer.reset_state()
+        assert optimizer._velocity[0] is None
+
+    def test_adam_moments_cleared(self):
+        param = Parameter(np.ones(3))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.ones(3)
+        optimizer.step()
+        assert optimizer._t == 1
+        optimizer.reset_state()
+        assert optimizer._t == 0
+        assert optimizer._m[0] is None
+
+
+class TestDivergenceRollback:
+    def test_healthy_training_never_rolls_back(self, tiny_dataset):
+        model = fresh_mlp(tiny_dataset)
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.05, momentum=0.9),
+            divergence_rollback=True,
+        )
+        history = trainer.fit(make_loader(tiny_dataset), epochs=6)
+        assert trainer.rollbacks == 0
+        assert history.train[-1].loss < history.train[0].loss
+
+    def test_absurd_lr_triggers_rollback_and_backoff(self, tiny_dataset):
+        model = fresh_mlp(tiny_dataset)
+        optimizer = SGD(model.parameters(), lr=500.0, momentum=0.9)
+        trainer = Trainer(model, optimizer, divergence_rollback=True)
+        trainer.fit(make_loader(tiny_dataset), epochs=6)
+        assert trainer.rollbacks > 0
+        assert optimizer.lr < 500.0
+
+    def test_rollback_restores_parameters(self, tiny_dataset):
+        model = fresh_mlp(tiny_dataset)
+        initial = {k: v.copy() for k, v in model.state_dict().items()}
+        optimizer = SGD(model.parameters(), lr=1e6)
+        trainer = Trainer(model, optimizer, divergence_rollback=True)
+        trainer.fit(make_loader(tiny_dataset), epochs=1)
+        if trainer.rollbacks:
+            # After a first-epoch rollback the weights are the initials.
+            for key, value in model.state_dict().items():
+                np.testing.assert_array_equal(value, initial[key])
+
+    def test_backoff_propagates_through_scheduler(self, tiny_dataset):
+        model = fresh_mlp(tiny_dataset)
+        optimizer = SGD(model.parameters(), lr=500.0, momentum=0.9)
+        scheduler = MultiStepLR(optimizer, milestones=[100], gamma=0.1)
+        trainer = Trainer(
+            model, optimizer, scheduler=scheduler, divergence_rollback=True
+        )
+        trainer.fit(make_loader(tiny_dataset), epochs=3)
+        assert trainer.rollbacks > 0
+        # The scheduler's base LR carries the backoff, so its next step
+        # cannot restore the diverging LR.
+        assert scheduler.base_lr < 500.0
+
+    def test_rollback_cap_respected(self, tiny_dataset):
+        model = fresh_mlp(tiny_dataset)
+        optimizer = SGD(model.parameters(), lr=1e12)
+        trainer = Trainer(model, optimizer, divergence_rollback=True)
+        trainer.fit(make_loader(tiny_dataset), epochs=Trainer.MAX_ROLLBACKS + 3)
+        assert trainer.rollbacks <= Trainer.MAX_ROLLBACKS
+
+    def test_training_loss_matches_eval_semantics(self, trained_mlp, tiny_dataset):
+        trainer = Trainer(trained_mlp, SGD(trained_mlp.parameters(), lr=0.01))
+        loader = DataLoader(
+            ArrayDataset(tiny_dataset.train_images, tiny_dataset.train_labels),
+            batch_size=25,
+        )
+        loss = trainer.training_loss(loader)
+        assert np.isfinite(loss)
+        # No weights were touched.
+        again = trainer.training_loss(loader)
+        assert loss == pytest.approx(again)

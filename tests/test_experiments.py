@@ -1,0 +1,122 @@
+"""Tests for the experiment presets and figure harnesses (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, get_dataset, get_pretrained
+from repro.experiments.fig4 import search_range_for_budget
+from repro.experiments.presets import clear_caches, get_scale
+
+
+class TestPresets:
+    def test_scales_registered(self):
+        assert {"tiny", "small", "paper"} <= set(SCALES)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_synth10_geometry(self):
+        ds = get_dataset("synth10", scale="tiny")
+        assert ds.num_classes == 10
+        assert ds.config.image_size == 16
+
+    def test_synth100_class_count(self):
+        ds = get_dataset("synth100", scale="tiny")
+        assert ds.num_classes == 100
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("imagenet")
+
+    def test_dataset_deterministic(self):
+        a = get_dataset("synth10", scale="tiny", seed=4)
+        b = get_dataset("synth10", scale="tiny", seed=4)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+
+
+class TestPretrainedCache:
+    def test_memory_cache_returns_same_model(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        model1, _, acc1 = get_pretrained("mlp", "synth10", scale="tiny", seed=0)
+        model2, _, acc2 = get_pretrained("mlp", "synth10", scale="tiny", seed=0)
+        assert model1 is model2
+        assert acc1 == acc2
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        model1, _, acc1 = get_pretrained("mlp", "synth10", scale="tiny", seed=1)
+        weights = model1.fc0.weight.data.copy()
+        clear_caches()  # force disk reload
+        model2, _, acc2 = get_pretrained("mlp", "synth10", scale="tiny", seed=1)
+        assert model1 is not model2
+        np.testing.assert_array_equal(model2.fc0.weight.data, weights)
+        assert acc2 == pytest.approx(acc1)
+
+    def test_pretrained_model_learns(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        _, _, accuracy = get_pretrained("mlp", "synth10", scale="tiny", seed=2)
+        assert accuracy > 0.5  # well above the 10% chance level
+
+
+class TestSearchRange:
+    def test_paper_mapping(self):
+        assert search_range_for_budget(2.0) == 4
+        assert search_range_for_budget(3.0) == 5
+        assert search_range_for_budget(4.0) == 6
+
+    def test_sub_two_bit_budgets_use_tight_range(self):
+        # Wide ranges at B=1.0 produce near-all-1-bit arrangements that
+        # refine poorly; the tight {0..2} range recovers much better.
+        assert search_range_for_budget(1.0) == 2
+        assert search_range_for_budget(1.5) == 3
+
+
+@pytest.mark.slow
+class TestFigureHarnesses:
+    """End-to-end figure runs at tiny scale (seconds each)."""
+
+    def test_fig2_histograms_structure(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+        from repro.experiments import fig2
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        result = fig2.run(scale="tiny", bins=10)
+        assert len(result.histograms) == 8  # layers 0-7 as in the paper
+        for counts, edges in result.histograms.values():
+            assert edges[0] == 0.0 and edges[-1] == 10.0
+        text = fig2.render(result)
+        assert "Figure 2" in text
+
+    def test_fig3_snapshots(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+        from repro.experiments import fig3
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        result = fig3.run(scale="tiny")
+        assert result.search.average_bits <= 2.0 + 1e-9
+        assert len(result.snapshots) >= 1
+        assert "Figure 3" in fig3.render(result)
+
+    def test_fig6_arrangement(self, tmp_path, monkeypatch):
+        import repro.experiments.presets as presets
+        from repro.experiments import fig6
+
+        monkeypatch.setattr(presets, "_CACHE_DIR", tmp_path)
+        clear_caches()
+        result = fig6.run(scale="tiny")
+        assert result.avg_bits <= 2.0 + 1e-9
+        assert len(result.summary) == 7  # quantized layers 1-7
+        assert np.all(np.diff(result.thresholds) >= -1e-12)
+        assert "Figure 6" in fig6.render(result)

@@ -1,0 +1,221 @@
+"""Tests for integer export, quantization metrics, report and trade-off sweep."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.mlp import MLP
+from repro.quant import quantize_model, quantized_layers
+from repro.quant.export import (
+    FLOAT32_BITS,
+    export_quantized_weights,
+    verify_export,
+)
+from repro.quant.metrics import (
+    average_weight_bits,
+    pruned_weight_fraction,
+    quantized_weight_count,
+    weight_quantization_mse,
+    weight_sqnr_db,
+)
+
+
+def quantized_mlp(bits_fc1=None, bits_fc2=None, max_bits=4):
+    model = MLP(10, (8, 6, 5), 3, rng=np.random.default_rng(0))
+    quantize_model(model, max_bits=max_bits)
+    layers = quantized_layers(model)
+    if bits_fc1 is not None:
+        layers["fc1"].set_bits(np.asarray(bits_fc1))
+    if bits_fc2 is not None:
+        layers["fc2"].set_bits(np.asarray(bits_fc2))
+    return model, layers
+
+
+class TestExport:
+    def test_roundtrip_bit_exact(self):
+        model, _ = quantized_mlp(bits_fc1=[0, 1, 2, 3, 4, 4], bits_fc2=[2] * 5)
+        assert verify_export(model)
+
+    def test_reconstruct_matches_effective_weight(self):
+        model, layers = quantized_mlp(bits_fc1=[1, 2, 3, 4, 0, 2])
+        export = export_quantized_weights(model)
+        rebuilt = export.layers["fc1"].reconstruct()
+        np.testing.assert_allclose(
+            rebuilt, layers["fc1"].effective_weight().data, atol=1e-12
+        )
+
+    def test_pruned_filter_has_empty_codes(self):
+        model, _ = quantized_mlp(bits_fc1=[0, 4, 4, 4, 4, 4])
+        export = export_quantized_weights(model)
+        assert len(export.layers["fc1"].codes[0]) == 0
+        np.testing.assert_array_equal(
+            export.layers["fc1"].reconstruct()[0], np.zeros(8)
+        )
+
+    def test_codes_within_level_range(self):
+        model, _ = quantized_mlp(bits_fc1=[2] * 6)
+        export = export_quantized_weights(model)
+        for code in export.layers["fc1"].codes:
+            assert np.all(code >= 0)
+            assert np.all(code <= 3)  # 2 bits -> 4 levels
+
+    def test_payload_bits_formula(self):
+        model, _ = quantized_mlp(bits_fc1=[2] * 6)
+        export = export_quantized_weights(model)
+        # fc1: 6 filters x 8 inputs x 2 bits
+        assert export.layers["fc1"].payload_bits == 6 * 8 * 2
+
+    def test_metadata_bits(self):
+        model, _ = quantized_mlp()
+        export = export_quantized_weights(model)
+        assert export.layers["fc1"].metadata_bits == 2 * 64 + 8 * 6
+
+    def test_compression_ratio_improves_with_fewer_bits(self):
+        model_high, _ = quantized_mlp(bits_fc1=[4] * 6, bits_fc2=[4] * 5)
+        model_low, _ = quantized_mlp(bits_fc1=[1] * 6, bits_fc2=[1] * 5)
+        high = export_quantized_weights(model_high).compression_ratio()
+        low = export_quantized_weights(model_low).compression_ratio()
+        assert low > high > 1.0
+
+    def test_unquantized_layers_accounted(self):
+        model, _ = quantized_mlp()
+        export = export_quantized_weights(model)
+        # fc0 (10->8) and the output fc3 (5->3) stay FP32, with biases.
+        expected = FLOAT32_BITS * ((10 * 8 + 8) + (5 * 3 + 3))
+        assert export.unquantized_weight_bits == expected
+
+    def test_export_without_quantized_layers_raises(self):
+        model = MLP(10, (8, 6), 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            export_quantized_weights(model)
+
+    def test_size_report_mentions_layers(self):
+        model, _ = quantized_mlp()
+        text = export_quantized_weights(model).size_report()
+        assert "fc1" in text and "KiB" in text
+
+
+class TestMetrics:
+    def test_mse_zero_when_quant_disabled(self):
+        model, layers = quantized_mlp()
+        for layer in layers.values():
+            layer.weight_quant_enabled = False
+        assert all(v == 0.0 for v in weight_quantization_mse(model).values())
+
+    def test_mse_positive_at_low_bits(self):
+        model, _ = quantized_mlp(bits_fc1=[1] * 6)
+        assert weight_quantization_mse(model)["fc1"] > 0
+
+    def test_mse_decreases_with_bits(self):
+        mse = []
+        for bits in (1, 2, 4):
+            model, _ = quantized_mlp(bits_fc1=[bits] * 6)
+            mse.append(weight_quantization_mse(model)["fc1"])
+        assert mse[0] > mse[1] > mse[2]
+
+    def test_sqnr_increases_with_bits(self):
+        values = []
+        for bits in (1, 2, 4):
+            model, _ = quantized_mlp(bits_fc1=[bits] * 6)
+            values.append(weight_sqnr_db(model)["fc1"])
+        assert values[0] < values[1] < values[2]
+
+    def test_sqnr_infinite_for_lossless(self):
+        model, layers = quantized_mlp()
+        for layer in layers.values():
+            layer.weight_quant_enabled = False
+        assert all(v == math.inf for v in weight_sqnr_db(model).values())
+
+    def test_average_weight_bits_matches_bitmap(self):
+        model, _ = quantized_mlp(bits_fc1=[0, 1, 2, 3, 4, 4], bits_fc2=[2] * 5)
+        from repro.quant.qmodules import extract_bit_map
+
+        assert average_weight_bits(model) == pytest.approx(
+            extract_bit_map(model).average_bits()
+        )
+
+    def test_quantized_weight_count(self):
+        model, _ = quantized_mlp()
+        assert quantized_weight_count(model) == 8 * 6 + 6 * 5
+
+    def test_pruned_fraction(self):
+        model, _ = quantized_mlp(bits_fc1=[0] * 6, bits_fc2=[4] * 5)
+        expected = (8 * 6) / (8 * 6 + 6 * 5)
+        assert pruned_weight_fraction(model) == pytest.approx(expected)
+
+    def test_metrics_raise_without_quantized_layers(self):
+        model = MLP(10, (8, 6), 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            average_weight_bits(model)
+        with pytest.raises(ValueError):
+            pruned_weight_fraction(model)
+
+
+class TestReport:
+    def test_summarize_contains_key_metrics(self, tiny_dataset, trained_mlp):
+        from repro.core import CQConfig, ClassBasedQuantizer
+        from repro.core.report import summarize
+
+        config = CQConfig(
+            target_avg_bits=2.0, max_bits=4, step=0.5, act_bits=None,
+            samples_per_class=4, refine_epochs=2, refine_batch_size=25,
+        )
+        result = ClassBasedQuantizer(config).quantize(trained_mlp, tiny_dataset)
+        text = summarize(result)
+        assert "accuracy" in text
+        assert "average weight bits" in text
+        assert "per-layer arrangement" in text
+        assert "KiB" in text
+
+
+class TestTradeoff:
+    def test_sweep_monotone_bits(self, tiny_dataset, trained_mlp):
+        from repro.analysis.tradeoff import render_curve, sweep_budgets
+        from repro.core import CQConfig
+
+        config = CQConfig(
+            max_bits=4, act_bits=None, step=0.5, samples_per_class=4,
+            refine_epochs=0, search_batch_size=40,
+        )
+        curve = sweep_budgets(
+            trained_mlp, tiny_dataset, budgets=[1.0, 2.0, 3.0], config=config,
+            refine=False,
+        )
+        assert len(curve.points) == 3
+        bits = [point.avg_bits for point in curve.points]
+        assert bits[0] <= 1.0 + 1e-9
+        assert all(a <= b + 1e-9 for a, b in zip(bits, bits[1:]))
+        text = render_curve(curve)
+        assert "budget" in text
+
+    def test_sweep_budget_satisfied(self, tiny_dataset, trained_mlp):
+        from repro.analysis.tradeoff import sweep_budgets
+        from repro.core import CQConfig
+
+        config = CQConfig(
+            max_bits=4, act_bits=None, step=0.5, samples_per_class=4,
+            refine_epochs=0, search_batch_size=40,
+        )
+        curve = sweep_budgets(
+            trained_mlp, tiny_dataset, budgets=[2.5], config=config, refine=False
+        )
+        assert curve.points[0].avg_bits <= 2.5 + 1e-9
+
+    def test_curve_exports_design_points(self, tiny_dataset, trained_mlp):
+        from repro.analysis.tradeoff import sweep_budgets
+        from repro.core import CQConfig
+        from repro.hw import pareto_front
+
+        config = CQConfig(
+            max_bits=4, act_bits=None, step=0.5, samples_per_class=4,
+            refine_epochs=0, search_batch_size=40,
+        )
+        curve = sweep_budgets(
+            trained_mlp, tiny_dataset, budgets=[1.0, 3.0], config=config, refine=False
+        )
+        points = curve.design_points()
+        assert [p.label for p in points] == ["B=1", "B=3"]
+        assert all(p.payload is point for p, point in zip(points, curve.points))
+        # The frontier machinery accepts them directly.
+        assert pareto_front(points)

@@ -1,0 +1,172 @@
+"""Tests for gradient clipping (repro.optim.clip_grad_norm_) and its
+integration into the Trainer / refinement path."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, clip_grad_norm_
+from repro.train.trainer import Trainer
+
+
+def params_with_grads(grads):
+    params = []
+    for grad in grads:
+        param = Parameter(np.zeros_like(np.asarray(grad, dtype=np.float64)))
+        param.grad = np.asarray(grad, dtype=np.float64)
+        params.append(param)
+    return params
+
+
+class TestClipGradNorm:
+    def test_below_threshold_untouched(self):
+        params = params_with_grads([[3.0, 4.0]])  # norm 5
+        norm = clip_grad_norm_(params, max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(params[0].grad, [3.0, 4.0])
+
+    def test_above_threshold_scaled_to_max(self):
+        params = params_with_grads([[3.0, 4.0]])  # norm 5
+        norm = clip_grad_norm_(params, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0, rel=1e-6)
+        # Direction preserved.
+        np.testing.assert_allclose(params[0].grad, [0.6, 0.8], rtol=1e-6)
+
+    def test_global_norm_across_parameters(self):
+        params = params_with_grads([[3.0], [4.0]])  # global norm 5
+        clip_grad_norm_(params, max_norm=1.0)
+        total = sum(float((p.grad ** 2).sum()) for p in params)
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)
+
+    def test_none_gradients_skipped(self):
+        param = Parameter(np.zeros(2))
+        assert param.grad is None
+        norm = clip_grad_norm_([param], max_norm=1.0)
+        assert norm == 0.0
+
+    def test_nonfinite_gradients_zeroed(self):
+        params = params_with_grads([[1.0, np.inf], [2.0, 3.0]])
+        norm = clip_grad_norm_(params, max_norm=1.0)
+        assert norm == float("inf")
+        for param in params:
+            np.testing.assert_array_equal(param.grad, 0.0)
+
+    def test_nan_gradients_zeroed(self):
+        params = params_with_grads([[np.nan, 1.0]])
+        clip_grad_norm_(params, max_norm=1.0)
+        np.testing.assert_array_equal(params[0].grad, 0.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError, match="positive"):
+            clip_grad_norm_([], max_norm=0.0)
+
+
+class TestTrainerIntegration:
+    def test_invalid_max_grad_norm_rejected(self, trained_mlp):
+        with pytest.raises(ValueError, match="positive"):
+            Trainer(
+                trained_mlp,
+                SGD(trained_mlp.parameters(), lr=0.01),
+                max_grad_norm=-1.0,
+            )
+
+    def test_clipped_training_still_learns(self, tiny_dataset):
+        from repro.data.dataset import ArrayDataset, DataLoader
+        from repro.models.mlp import MLP
+
+        ds = tiny_dataset
+        model = MLP(
+            in_features=3 * 8 * 8,
+            hidden=(16, 12),
+            num_classes=ds.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        loader = DataLoader(
+            ArrayDataset(ds.train_images, ds.train_labels),
+            batch_size=25,
+            shuffle=True,
+            seed=0,
+        )
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.05, momentum=0.9), max_grad_norm=1.0
+        )
+        history = trainer.fit(loader, epochs=8)
+        assert history.train[-1].accuracy > history.train[0].accuracy
+
+    def test_config_validation(self):
+        from repro.core.config import CQConfig
+
+        with pytest.raises(ValueError, match="refine_max_grad_norm"):
+            CQConfig(refine_max_grad_norm=0.0)
+        with pytest.raises(ValueError, match="refine_max_grad_norm"):
+            CQConfig(refine_max_grad_norm="always")
+        assert CQConfig(refine_max_grad_norm=None).refine_max_grad_norm is None
+        assert CQConfig().refine_max_grad_norm == "auto"
+
+
+class TestAdaptiveClipper:
+    def test_warmup_never_clips(self):
+        from repro.optim import AdaptiveGradClipper
+
+        clipper = AdaptiveGradClipper(factor=2.0, warmup=3)
+        for _ in range(3):
+            params = params_with_grads([[3.0, 4.0]])
+            clipper.clip(params)
+            np.testing.assert_allclose(params[0].grad, [3.0, 4.0])
+
+    def test_escalation_clipped_after_warmup(self):
+        from repro.optim import AdaptiveGradClipper
+
+        clipper = AdaptiveGradClipper(factor=2.0, warmup=3)
+        for _ in range(5):
+            clipper.clip(params_with_grads([[3.0, 4.0]]))  # median norm 5
+        spike = params_with_grads([[300.0, 400.0]])  # norm 500 >> 2*5
+        clipper.clip(spike)
+        assert np.linalg.norm(spike[0].grad) == pytest.approx(10.0, rel=1e-6)
+
+    def test_slow_drift_not_clipped(self):
+        from repro.optim import AdaptiveGradClipper
+
+        clipper = AdaptiveGradClipper(factor=10.0, warmup=2, window=5)
+        norm = 1.0
+        for _ in range(20):
+            params = params_with_grads([[norm, 0.0]])
+            clipper.clip(params)
+            # Norm grows 30% per step — healthy drift stays unclipped.
+            assert params[0].grad[0] == pytest.approx(norm)
+            norm *= 1.3
+
+    def test_nonfinite_zeroed_and_median_unpolluted(self):
+        from repro.optim import AdaptiveGradClipper
+
+        clipper = AdaptiveGradClipper(factor=2.0, warmup=2)
+        for _ in range(3):
+            clipper.clip(params_with_grads([[3.0, 4.0]]))
+        params = params_with_grads([[np.inf, 1.0]])
+        clipper.clip(params)
+        np.testing.assert_array_equal(params[0].grad, 0.0)
+        # The inf norm must not enter the median window.
+        follow_up = params_with_grads([[3.0, 4.0]])
+        clipper.clip(follow_up)
+        np.testing.assert_allclose(follow_up[0].grad, [3.0, 4.0])
+
+    def test_invalid_parameters(self):
+        from repro.optim import AdaptiveGradClipper
+
+        with pytest.raises(ValueError):
+            AdaptiveGradClipper(factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveGradClipper(window=0)
+
+    def test_trainer_accepts_auto(self, trained_mlp):
+        trainer = Trainer(
+            trained_mlp, SGD(trained_mlp.parameters(), lr=0.01), max_grad_norm="auto"
+        )
+        assert trainer._adaptive_clipper is not None
+
+    def test_trainer_rejects_unknown_string(self, trained_mlp):
+        with pytest.raises(ValueError):
+            Trainer(
+                trained_mlp, SGD(trained_mlp.parameters(), lr=0.01), max_grad_norm="always"
+            )

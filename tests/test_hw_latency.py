@@ -1,0 +1,110 @@
+"""Tests for repro.hw.latency: precision-scalable PE array + roofline."""
+
+import numpy as np
+import pytest
+
+from repro.hw.latency import AcceleratorParams, LatencyModel
+from repro.hw.profile import profile_model
+from repro.models.vgg import VGGSmall
+from repro.quant.qmodules import extract_bit_map, quantize_model
+
+
+@pytest.fixture(scope="module")
+def vgg_setup():
+    model = VGGSmall(num_classes=4, image_size=8, width=8, rng=np.random.default_rng(0))
+    profile = profile_model(model, (3, 8, 8))
+    quantize_model(model, max_bits=4, act_bits=4)
+    return profile, extract_bit_map(model)
+
+
+class TestAcceleratorParams:
+    def test_native_precision_has_unit_scale(self):
+        assert AcceleratorParams().throughput_scale(8, 8) == 1.0
+
+    def test_fused_low_precision_multiplies_throughput(self):
+        params = AcceleratorParams()
+        assert params.throughput_scale(4, 4) == 4.0
+        assert params.throughput_scale(2, 8) == 4.0
+        assert params.throughput_scale(1, 1) == 64.0
+
+    def test_above_native_precision_never_exceeds_unit(self):
+        # A 32-bit operand cannot run faster than one native lane.
+        assert AcceleratorParams().throughput_scale(32, 32) == 1.0
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorParams().throughput_scale(0, 8)
+
+
+class TestLayerLatency:
+    def test_lower_bits_run_faster_in_compute_bound_regime(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        # Tiny PE array + huge bandwidth forces the compute-bound regime.
+        model = LatencyModel(
+            AcceleratorParams(num_pes=1, dram_bandwidth_bytes_per_s=1e15)
+        )
+        layer = profile[bit_map.layers()[0]]
+        fast = model.layer_latency(layer, 2, act_bits=2)
+        slow = model.layer_latency(layer, 8, act_bits=8)
+        assert fast.bound == "compute"
+        assert fast.total_s < slow.total_s
+        assert fast.total_s == pytest.approx(slow.total_s / 16)
+
+    def test_memory_bound_scales_with_stored_bits(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        # Huge PE array + tiny bandwidth forces the memory-bound regime.
+        model = LatencyModel(
+            AcceleratorParams(num_pes=10**9, dram_bandwidth_bytes_per_s=1e3)
+        )
+        layer = profile[bit_map.layers()[0]]
+        narrow = model.layer_latency(layer, 2, act_bits=4)
+        wide = model.layer_latency(layer, 4, act_bits=4)
+        assert narrow.bound == "memory"
+        assert narrow.total_s < wide.total_s
+
+    def test_pruned_filters_skip_compute_and_traffic(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        model = LatencyModel()
+        layer = profile[bit_map.layers()[0]]
+        bits = np.full(layer.num_filters, 4)
+        full = model.layer_latency(layer, bits, act_bits=4)
+        bits[0] = 0
+        pruned = model.layer_latency(layer, bits, act_bits=4)
+        assert pruned.compute_s < full.compute_s
+        assert pruned.memory_s < full.memory_s
+
+    def test_wrong_filter_count_rejected(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        layer = profile[bit_map.layers()[0]]
+        with pytest.raises(ValueError, match="per-filter"):
+            LatencyModel().layer_latency(layer, np.ones(layer.num_filters + 3), act_bits=4)
+
+    def test_nonpositive_act_bits_rejected(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        layer = profile[bit_map.layers()[0]]
+        with pytest.raises(ValueError):
+            LatencyModel().layer_latency(layer, 4, act_bits=0)
+
+
+class TestModelLatency:
+    def test_totals_add_sequentially(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        report = LatencyModel().model_latency(profile, bit_map, act_bits=4, unmapped="skip")
+        assert report.total_s == pytest.approx(sum(report[n].total_s for n in report))
+
+    def test_quantized_faster_than_fp32(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        model = LatencyModel()
+        quantized = model.model_latency(profile, bit_map, act_bits=4, unmapped="skip")
+        fp = model.fp32_latency(profile.subset(bit_map.layers()))
+        assert quantized.total_s < fp.total_s
+
+    def test_unmapped_modes(self, vgg_setup):
+        profile, bit_map = vgg_setup
+        model = LatencyModel()
+        assert len(model.model_latency(profile, bit_map, 4, unmapped="fp32")) == len(profile)
+        assert len(model.model_latency(profile, bit_map, 4, unmapped="skip")) == len(
+            bit_map.layers()
+        )
+        with pytest.raises(ValueError):
+            model.model_latency(profile, bit_map, 4, unmapped="none")

@@ -1,0 +1,78 @@
+"""Tests for repro.hw.report: cost summaries and comparison tables."""
+
+import numpy as np
+import pytest
+
+from repro.hw.report import comparison_table, cost_summary, layer_cost_table
+from repro.hw.profile import profile_model
+from repro.models.vgg import VGGSmall
+from repro.quant.bitmap import BitWidthMap
+from repro.quant.qmodules import extract_bit_map, quantize_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = VGGSmall(num_classes=4, image_size=8, width=8, rng=np.random.default_rng(0))
+    profile = profile_model(model, (3, 8, 8))
+    quantize_model(model, max_bits=4, act_bits=4)
+    return profile, extract_bit_map(model)
+
+
+class TestCostSummary:
+    def test_compression_matches_bits_ratio(self, setup):
+        profile, bit_map = setup
+        summary = cost_summary(profile, bit_map, act_bits=4, label="uniform-4")
+        # All quantized filters at 4 bits -> exactly 8x smaller than FP32.
+        assert summary.compression == pytest.approx(32 / 4)
+
+    def test_savings_are_positive(self, setup):
+        profile, bit_map = setup
+        summary = cost_summary(profile, bit_map, act_bits=4)
+        assert summary.energy_saving > 1.0
+        assert summary.speedup > 1.0
+        assert summary.average_bits == pytest.approx(4.0)
+
+    def test_lower_bits_compress_more(self, setup):
+        profile, bit_map = setup
+        two_bit = BitWidthMap(
+            {name: np.full(len(bit_map[name]), 2) for name in bit_map},
+            {name: bit_map.weights_per_filter(name) for name in bit_map},
+        )
+        s4 = cost_summary(profile, bit_map, act_bits=4)
+        s2 = cost_summary(profile, two_bit, act_bits=2)
+        assert s2.compression > s4.compression
+        assert s2.energy_uj < s4.energy_uj
+
+    def test_summary_excludes_unquantized_layers(self, setup):
+        profile, bit_map = setup
+        summary = cost_summary(profile, bit_map, act_bits=4)
+        quantized_params = sum(
+            profile[name].params for name in profile if name in bit_map
+        )
+        assert summary.fp32_storage_kib == pytest.approx(quantized_params * 4 / 1024)
+
+
+class TestTables:
+    def test_layer_table_lists_only_mapped_layers(self, setup):
+        profile, bit_map = setup
+        table = layer_cost_table(profile, bit_map, act_bits=4)
+        for name in bit_map.layers():
+            assert name in table
+        unmapped = [n for n in profile.layers() if n not in bit_map]
+        for name in unmapped:
+            assert name not in table
+
+    def test_layer_table_has_bound_column(self, setup):
+        profile, bit_map = setup
+        table = layer_cost_table(profile, bit_map, act_bits=4)
+        assert "bound" in table
+        assert ("compute" in table) or ("memory" in table)
+
+    def test_comparison_table_rows(self, setup):
+        profile, bit_map = setup
+        s1 = cost_summary(profile, bit_map, act_bits=4, label="CQ 4.0/4.0")
+        s2 = cost_summary(profile, bit_map, act_bits=2, label="CQ 4.0/2.0")
+        table = comparison_table([s1, s2])
+        assert "CQ 4.0/4.0" in table
+        assert "CQ 4.0/2.0" in table
+        assert "speedup" in table

@@ -1,0 +1,107 @@
+"""Cross-module integration: CQ pipeline -> checkpoint -> integer engine.
+
+The full deployment story must hold together: an arrangement produced by
+the search survives a checkpoint round-trip with its quantization state,
+and the restored model executes identically under integer-only MACs and
+on the hardware cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CQConfig
+from repro.core.pipeline import ClassBasedQuantizer
+from repro.hw import cost_summary, profile_model
+from repro.models.mlp import MLP
+from repro.quant.export import export_quantized_weights, verify_export
+from repro.quant.integer import verify_integer_equivalence
+from repro.quant.qmodules import extract_bit_map, quantize_model
+from repro.utils.checkpoint import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def cq_result(trained_mlp, tiny_dataset):
+    config = CQConfig(
+        target_avg_bits=2.0,
+        max_bits=4,
+        act_bits=3,
+        samples_per_class=8,
+        refine_epochs=3,
+        refine_lr=0.01,
+        refine_batch_size=25,
+        seed=0,
+    )
+    return ClassBasedQuantizer(config).quantize(trained_mlp, tiny_dataset)
+
+
+class TestDeploymentRoundTrip:
+    def test_export_is_bit_exact(self, cq_result):
+        assert verify_export(cq_result.model)
+
+    def test_integer_equivalence_after_pipeline(self, cq_result, tiny_dataset):
+        ok, diff = verify_integer_equivalence(
+            cq_result.model, tiny_dataset.test_images[:32]
+        )
+        assert ok, f"integer execution diverged by {diff}"
+
+    def test_checkpoint_preserves_arrangement_and_integer_path(
+        self, cq_result, tiny_dataset, tmp_path
+    ):
+        path = tmp_path / "deployed.npz"
+        save_checkpoint(
+            cq_result.model, path, metadata={"bit_map": cq_result.bit_map.to_dict()}
+        )
+
+        restored = MLP(
+            in_features=3 * 8 * 8,
+            hidden=(32, 24, 16),
+            num_classes=tiny_dataset.num_classes,
+            rng=np.random.default_rng(99),
+        )
+        quantize_model(restored, max_bits=4, act_bits=3)
+        metadata = load_checkpoint(restored, path)
+        assert "bit_map" in metadata
+
+        # Same arrangement...
+        restored_map = extract_bit_map(restored)
+        for name in cq_result.bit_map:
+            np.testing.assert_array_equal(
+                restored_map[name], cq_result.bit_map[name]
+            )
+        # ...same outputs...
+        sample = tiny_dataset.test_images[:16]
+        from repro.tensor.tensor import Tensor, no_grad
+
+        cq_result.model.eval()
+        restored.eval()
+        with no_grad():
+            expected = cq_result.model(Tensor(sample)).data
+            actual = restored(Tensor(sample)).data
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+        # ...and the restored model still runs integer-exact.
+        ok, diff = verify_integer_equivalence(restored, sample)
+        assert ok, f"restored model integer path diverged by {diff}"
+
+    def test_cost_model_consistent_with_export(self, cq_result):
+        profile = profile_model(cq_result.model, (3 * 8 * 8,))
+        summary = cost_summary(profile, cq_result.bit_map, act_bits=3)
+        export = export_quantized_weights(cq_result.model)
+        # Storage accounting must agree: cost_summary counts code bits
+        # only; the export adds scale/bit-width metadata on top.
+        assert summary.storage_kib * 8 * 1024 == pytest.approx(
+            sum(layer.payload_bits for layer in export.layers.values())
+        )
+
+    def test_compression_reflects_budget(self, cq_result):
+        export = export_quantized_weights(cq_result.model)
+        # The pure code payload compresses by exactly 32 / average bits;
+        # the reported ratio also pays the per-layer metadata (scale pair
+        # + one bit-width byte per filter) and must stay within it.
+        fp_bits = sum(
+            32 * np.prod(layer.weight_shape) for layer in export.layers.values()
+        )
+        payload_bits = sum(layer.payload_bits for layer in export.layers.values())
+        assert fp_bits / payload_bits == pytest.approx(
+            32.0 / cq_result.average_bits, rel=1e-9
+        )
+        assert export.compression_ratio() <= fp_bits / payload_bits

@@ -1,0 +1,172 @@
+"""Tests for the model zoo: shapes, taps, registry, quantization policy."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP, ResNet20, VGGSmall, available_models, build_model
+from repro.models.resnet import BasicBlock
+from repro.nn import Identity
+from repro.quant.qmodules import quantizable_layer_names, weight_layer_names
+from repro.tensor import Tensor
+
+
+class TestVGGSmall:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return VGGSmall(num_classes=10, image_size=16, width=4, rng=np.random.default_rng(0))
+
+    def test_forward_shape(self, model):
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_nine_weight_layers(self, model):
+        assert len(weight_layer_names(model)) == 9
+
+    def test_quantizable_excludes_first_and_output(self, model):
+        names = quantizable_layer_names(model)
+        assert "conv0" not in names
+        assert "fc8" not in names
+        assert len(names) == 7
+
+    def test_tap_modules_cover_quantizable(self, model):
+        assert list(model.tap_modules()) == quantizable_layer_names(model)
+
+    def test_all_tap_modules_adds_conv0(self, model):
+        taps = model.all_tap_modules()
+        assert list(taps)[0] == "conv0"
+        assert len(taps) == 8  # layers 0-7, as in Figure 2
+
+    def test_invalid_image_size_raises(self):
+        with pytest.raises(ValueError):
+            VGGSmall(image_size=10)
+
+    def test_width_scales_channels(self):
+        narrow = VGGSmall(width=4, rng=np.random.default_rng(0))
+        wide = VGGSmall(width=8, rng=np.random.default_rng(0))
+        assert wide.num_parameters() > 3 * narrow.num_parameters()
+
+    def test_32px_input(self):
+        model = VGGSmall(num_classes=10, image_size=32, width=4, rng=np.random.default_rng(0))
+        out = model(Tensor(np.zeros((1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+
+class TestResNet20:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ResNet20(num_classes=10, base_width=4, rng=np.random.default_rng(0))
+
+    def test_forward_shape(self, model):
+        out = model(Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_twenty_weight_layers_plus_downsamples(self, model):
+        names = weight_layer_names(model)
+        # stem + 9 blocks x 2 convs + 2 downsample convs + fc = 22
+        assert len(names) == 22
+
+    def test_nine_blocks(self, model):
+        assert len(model.blocks) == 9
+
+    def test_downsample_on_stage_boundaries(self, model):
+        assert isinstance(model.blocks[0].downsample, Identity)
+        assert not isinstance(model.blocks[3].downsample, Identity)
+        assert not isinstance(model.blocks[6].downsample, Identity)
+
+    def test_expand_factor_scales_width(self):
+        x1 = ResNet20(expand=1, base_width=4, rng=np.random.default_rng(0))
+        x5 = ResNet20(expand=5, base_width=4, rng=np.random.default_rng(0))
+        assert x5.num_parameters() > 20 * x1.num_parameters()
+
+    def test_taps_cover_block_convs(self, model):
+        taps = model.tap_modules()
+        assert "blocks.0.conv1" in taps
+        assert "blocks.8.conv2" in taps
+        assert "blocks.3.downsample.0" in taps
+
+    def test_taps_subset_of_quantizable(self, model):
+        quantizable = set(quantizable_layer_names(model))
+        assert set(model.tap_modules()) == quantizable
+
+    def test_spatial_downsampling(self, model):
+        """Stage strides reduce 16x16 input to 4x4 before pooling."""
+        x = Tensor(np.zeros((1, 3, 16, 16)))
+        h = model.relu0(model.bn0(model.conv0(x)))
+        for block in model.blocks:
+            h = block(h)
+        assert h.shape[2:] == (4, 4)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_shape(self):
+        block = BasicBlock(8, 8, rng=np.random.default_rng(0))
+        out = block(Tensor(np.zeros((2, 8, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_strided_shortcut_shape(self):
+        block = BasicBlock(8, 16, stride=2, rng=np.random.default_rng(0))
+        out = block(Tensor(np.zeros((2, 8, 8, 8))))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_residual_contributes(self):
+        """Zeroing both convs leaves the (downsampled) input signal."""
+        block = BasicBlock(4, 4, rng=np.random.default_rng(0))
+        block.conv1.weight.data[...] = 0
+        block.conv2.weight.data[...] = 0
+        block.eval()
+        x = np.abs(np.random.default_rng(0).standard_normal((1, 4, 5, 5)))
+        out = block(Tensor(x))
+        np.testing.assert_allclose(out.data, np.maximum(x, 0), atol=1e-6)
+
+
+class TestMLP:
+    def test_forward_flattens_images(self):
+        model = MLP(3 * 8 * 8, (16, 8), 5, rng=np.random.default_rng(0))
+        out = model(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 5)
+
+    def test_needs_two_hidden_layers(self):
+        with pytest.raises(ValueError):
+            MLP(10, (4,), 2)
+
+    def test_taps_exclude_first_and_output(self):
+        model = MLP(10, (8, 6, 4), 2, rng=np.random.default_rng(0))
+        assert list(model.tap_modules()) == ["fc1", "fc2"]
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {
+            "mlp",
+            "resnet20-x1",
+            "resnet20-x5",
+            "vgg-small",
+        }
+
+    def test_build_each_model(self):
+        for name in available_models():
+            model = build_model(name, num_classes=4, image_size=16, seed=0)
+            out = model(Tensor(np.zeros((1, 3, 16, 16))))
+            assert out.shape == (1, 4)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_seed_reproducibility(self):
+        a = build_model("mlp", seed=3)
+        b = build_model("mlp", seed=3)
+        np.testing.assert_array_equal(a.fc0.weight.data, b.fc0.weight.data)
+
+    def test_different_seeds_differ(self):
+        a = build_model("mlp", seed=1)
+        b = build_model("mlp", seed=2)
+        assert not np.allclose(a.fc0.weight.data, b.fc0.weight.data)
+
+    def test_kwargs_forwarded(self):
+        model = build_model("vgg-small", width=4, seed=0)
+        assert model.width == 4
+
+    def test_resnet_expand_preset(self):
+        x5 = build_model("resnet20-x5", base_width=2, seed=0)
+        assert x5.expand == 5

@@ -1,0 +1,102 @@
+"""Tests for loss modules, in particular the refining loss of eq. (10)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, DistillationLoss, KLDivLoss, MSELoss
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)))
+        labels = np.array([0, 1, 2, 3])
+        module_loss = CrossEntropyLoss()(logits, labels)
+        functional_loss = F.cross_entropy(logits, labels)
+        assert float(module_loss.data) == pytest.approx(float(functional_loss.data))
+
+
+class TestMSELoss:
+    def test_zero_for_equal(self, rng):
+        x = Tensor(rng.standard_normal(5))
+        assert float(MSELoss()(x, x.copy()).data) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert float(MSELoss()(pred, target).data) == pytest.approx(2.5)
+
+    def test_target_detached(self, rng):
+        pred = Tensor(rng.standard_normal(3), requires_grad=True)
+        target = Tensor(rng.standard_normal(3), requires_grad=True)
+        MSELoss()(pred, target).backward()
+        assert pred.grad is not None
+        assert target.grad is None
+
+    def test_accepts_numpy_target(self, rng):
+        pred = Tensor(rng.standard_normal(3))
+        loss = MSELoss()(pred, pred.data.copy())
+        assert float(loss.data) == pytest.approx(0.0)
+
+
+class TestKLDivLoss:
+    def test_zero_for_identical(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)))
+        loss = KLDivLoss()(logits, Tensor(logits.data.copy()))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-12)
+
+    def test_temperature_stored(self):
+        assert KLDivLoss(temperature=4.0).temperature == 4.0
+
+
+class TestDistillationLoss:
+    def test_alpha_one_is_pure_ce(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        teacher = Tensor(rng.standard_normal((4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        loss = DistillationLoss(alpha=1.0)(logits, labels, teacher)
+        ce = F.cross_entropy(logits, labels)
+        assert float(loss.data) == pytest.approx(float(ce.data))
+
+    def test_alpha_zero_is_pure_kl(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        teacher = Tensor(rng.standard_normal((4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        loss = DistillationLoss(alpha=0.0)(logits, labels, teacher)
+        kl = F.kl_divergence(teacher, logits)
+        assert float(loss.data) == pytest.approx(float(kl.data))
+
+    def test_convex_combination(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        teacher = Tensor(rng.standard_normal((4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        alpha = 0.3
+        loss = DistillationLoss(alpha=alpha)(logits, labels, teacher)
+        expected = alpha * float(F.cross_entropy(logits, labels).data) + (
+            1 - alpha
+        ) * float(F.kl_divergence(teacher, logits).data)
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_without_teacher_falls_back_to_ce(self, rng):
+        logits = Tensor(rng.standard_normal((2, 3)))
+        labels = np.array([0, 1])
+        loss = DistillationLoss(alpha=0.3)(logits, labels, None)
+        assert float(loss.data) == pytest.approx(
+            float(F.cross_entropy(logits, labels).data)
+        )
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(alpha=1.5)
+
+    def test_gradient_reaches_student_not_teacher(self, rng):
+        student = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        teacher = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        labels = np.array([0, 1, 2])
+        DistillationLoss(alpha=0.3)(student, labels, teacher).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_paper_default_alpha(self):
+        assert DistillationLoss().alpha == pytest.approx(0.3)

@@ -1,0 +1,217 @@
+"""Tests for the Module system: registration, traversal, state, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, ReLU, Sequential
+from repro.tensor import Tensor
+
+
+class Branching(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = Linear(3, 2, rng=np.random.default_rng(1))
+        self.activation = ReLU()
+        self.scale = Parameter(np.ones(1))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.activation(self.fc1(x))) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_registered_on_setattr(self):
+        model = Branching()
+        names = [name for name, _ in model.named_parameters()]
+        assert "scale" in names
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+
+    def test_parameter_count(self):
+        model = Branching()
+        assert len(model.parameters()) == 5  # 2x(W,b) + scale
+
+    def test_num_parameters_counts_scalars(self):
+        model = Branching()
+        expected = 4 * 3 + 3 + 3 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_module_children_registered(self):
+        model = Branching()
+        assert set(model._modules) == {"fc1", "fc2", "activation"}
+
+    def test_reassignment_replaces_registration(self):
+        model = Branching()
+        model.fc1 = Linear(4, 3, rng=np.random.default_rng(2))
+        assert len([n for n, _ in model.named_parameters() if n.startswith("fc1")]) == 2
+
+    def test_buffers_registered(self):
+        model = Branching()
+        assert dict(model.named_buffers())["counter"].shape == (1,)
+
+    def test_set_buffer_unknown_raises(self):
+        model = Branching()
+        with pytest.raises(KeyError):
+            model._set_buffer("nope", np.zeros(1))
+
+    def test_named_modules_paths(self):
+        model = Branching()
+        names = dict(model.named_modules())
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_modules_iterates_all(self):
+        model = Branching()
+        assert len(list(model.modules())) == 4  # self + 3 children
+
+    def test_apply_visits_every_module(self):
+        model = Branching()
+        visited = []
+        model.apply(lambda m: visited.append(type(m).__name__))
+        assert "Branching" in visited and "Linear" in visited
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        model = Branching()
+        model.eval()
+        assert not model.training
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        model = Branching()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.zeros(1)))
+
+
+class TestStateDict:
+    def test_roundtrip_exact(self):
+        model = Branching()
+        state = model.state_dict()
+        other = Branching()
+        other.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_contains_buffers(self):
+        assert "counter" in Branching().state_dict()
+
+    def test_state_is_copy_not_view(self):
+        model = Branching()
+        state = model.state_dict()
+        model.fc1.weight.data += 1.0
+        assert not np.allclose(state["fc1.weight"], model.fc1.weight.data)
+
+    def test_load_shape_mismatch_raises(self):
+        model = Branching()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_load_strict_missing_raises(self):
+        model = Branching()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_non_strict_allows_missing(self):
+        model = Branching()
+        state = model.state_dict()
+        del state["scale"]
+        model.load_state_dict(state, strict=False)
+
+    def test_load_strict_unexpected_raises(self):
+        model = Branching()
+        state = model.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_buffer_roundtrip(self):
+        model = Branching()
+        model._set_buffer("counter", np.array([42.0]))
+        other = Branching()
+        other.load_state_dict(model.state_dict())
+        assert other.counter[0] == 42.0
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        out = seq(Tensor(np.ones((1, 4))))
+        assert out.shape == (1, 2)
+
+    def test_sequential_len_getitem_iter(self):
+        seq = Sequential(ReLU(), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+        assert len(list(iter(seq))) == 2
+
+    def test_sequential_append(self):
+        seq = Sequential(ReLU())
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_sequential_params_from_children(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+        assert len(seq.parameters()) == 4
+
+    def test_module_list_registration(self):
+        rng = np.random.default_rng(0)
+        ml = ModuleList([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(ml) == 2
+        assert len(ml.parameters()) == 4
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(Tensor(np.zeros(1)))
+
+    def test_repr_contains_children(self):
+        text = repr(Branching())
+        assert "fc1" in text and "Linear" in text
+
+
+class TestHooks:
+    def test_forward_hook_receives_output(self):
+        model = Branching()
+        seen = []
+        handle = model.fc1.register_forward_hook(lambda mod, out: seen.append(out))
+        model(Tensor(np.ones((2, 4))))
+        assert len(seen) == 1
+        assert seen[0].shape == (2, 3)
+        handle.remove()
+
+    def test_hook_remove_stops_calls(self):
+        model = Branching()
+        seen = []
+        handle = model.fc1.register_forward_hook(lambda mod, out: seen.append(1))
+        handle.remove()
+        model(Tensor(np.ones((1, 4))))
+        assert seen == []
+
+    def test_multiple_hooks_all_fire(self):
+        model = Branching()
+        seen = []
+        model.fc1.register_forward_hook(lambda m, o: seen.append("a"))
+        model.fc1.register_forward_hook(lambda m, o: seen.append("b"))
+        model(Tensor(np.ones((1, 4))))
+        assert seen == ["a", "b"]
+
+    def test_hook_remove_idempotent(self):
+        model = Branching()
+        handle = model.fc1.register_forward_hook(lambda m, o: None)
+        handle.remove()
+        handle.remove()  # no error

@@ -1,0 +1,156 @@
+"""Hypothesis property tests on autograd and network invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+small_floats = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+vectors = hnp.arrays(
+    dtype=np.float64, shape=st.integers(1, 12), elements=small_floats
+)
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(2, 8)),
+    elements=small_floats,
+)
+
+
+class TestAlgebraicIdentities:
+    @given(a=vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a):
+        x, y = Tensor(a), Tensor(a[::-1].copy())
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(a=vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation(self, a):
+        x = Tensor(a)
+        np.testing.assert_allclose((-(-x)).data, a)
+
+    @given(a=vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_relu_idempotent(self, a):
+        x = Tensor(a)
+        once = x.relu()
+        twice = once.relu()
+        np.testing.assert_array_equal(once.data, twice.data)
+
+    @given(a=vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_relu_non_negative(self, a):
+        assert np.all(Tensor(a).relu().data >= 0)
+
+    @given(a=vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_linear_in_scale(self, a):
+        x = Tensor(a)
+        np.testing.assert_allclose(
+            (x * 3.0).sum().data, 3.0 * x.sum().data, rtol=1e-12
+        )
+
+
+class TestGradientIdentities:
+    @given(a=vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones_like(a))
+
+    @given(a=vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_combination_gradient(self, a):
+        x = Tensor(a, requires_grad=True)
+        (x * 2.0 + x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, 5.0))
+
+    @given(a=vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_grad_of_mean_sums_to_one(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.mean().backward()
+        assert x.grad.sum() == pytest.approx(1.0)
+
+    @given(m=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_sum_to_one(self, m):
+        out = F.softmax(Tensor(m), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(m.shape[0]), atol=1e-9)
+
+    @given(m=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_gradient_orthogonal_to_ones(self, m):
+        """d(softmax)/dx applied to any upstream grad sums to ~0 per row
+        (probability mass is conserved)."""
+        x = Tensor(m, requires_grad=True)
+        rng = np.random.default_rng(0)
+        upstream = rng.standard_normal(m.shape)
+        F.softmax(x, axis=1).backward(upstream)
+        np.testing.assert_allclose(x.grad.sum(axis=1), 0.0, atol=1e-9)
+
+    @given(m=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_cross_entropy_nonnegative(self, m):
+        labels = np.zeros(m.shape[0], dtype=np.int64)
+        loss = F.cross_entropy(Tensor(m), labels)
+        assert float(loss.data) >= -1e-12
+
+    @given(m=matrices, shift=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance(self, m, shift):
+        a = F.softmax(Tensor(m)).data
+        b = F.softmax(Tensor(m + shift)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestConvProperties:
+    @given(
+        x=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(1, 2), st.integers(1, 3), st.just(6), st.just(6)
+            ),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        scale=st.floats(0.1, 5.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conv_linearity_in_input(self, x, scale):
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal((2, x.shape[1], 3, 3)))
+        out1 = F.conv2d(Tensor(x * scale), w)
+        out2 = F.conv2d(Tensor(x), w)
+        np.testing.assert_allclose(out1.data, out2.data * scale, rtol=1e-9, atol=1e-9)
+
+    @given(
+        x=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 2), st.just(2), st.just(5), st.just(5)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_maxpool_dominates_avgpool(self, x):
+        max_out = F.max_pool2d(Tensor(x), 2).data
+        avg_out = F.avg_pool2d(Tensor(x), 2).data
+        assert np.all(max_out >= avg_out - 1e-12)
+
+    @given(
+        x=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.just(1), st.just(1), st.just(4), st.just(4)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_global_avg_pool_is_mean(self, x):
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.data[0, 0] == pytest.approx(x.mean())

@@ -1,0 +1,314 @@
+"""Tests for repro.quant.integer: integer-only execution of exported codes.
+
+The key invariant: integer execution reproduces the fake-quantized
+forward to float64 rounding, for any bit arrangement, with and without
+activation quantization, on conv and linear layers and on whole models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.vgg import VGGSmall
+from repro.nn import Linear, Module
+from repro.quant.integer import (
+    IntegerLayerSpec,
+    compile_integer_layer,
+    compile_integer_model,
+    integer_forward,
+    integer_mode,
+    verify_integer_equivalence,
+)
+from repro.quant.qmodules import (
+    QConv2d,
+    QLinear,
+    calibrate_activations,
+    quantize_model,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def make_qlinear(in_features=6, out_features=5, act_bits=None, seed=0):
+    rng = np.random.default_rng(seed)
+    layer = QLinear(in_features, out_features, max_bits=4, act_bits=act_bits, rng=rng)
+    layer.weight.data[...] = rng.standard_normal((out_features, in_features))
+    if layer.bias is not None:
+        layer.bias.data[...] = rng.standard_normal(out_features)
+    return layer
+
+
+def make_qconv(in_channels=3, out_channels=4, k=3, act_bits=None, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    layer = QConv2d(
+        in_channels, out_channels, k, max_bits=4, act_bits=act_bits, rng=rng, **kwargs
+    )
+    layer.weight.data[...] = rng.standard_normal(layer.weight.shape)
+    if layer.bias is not None:
+        layer.bias.data[...] = rng.standard_normal(out_channels)
+    return layer
+
+
+def fake_forward(layer, x: np.ndarray) -> np.ndarray:
+    layer.eval()
+    with no_grad():
+        return layer(Tensor(x)).data.copy()
+
+
+def calibrated(layer, x: np.ndarray):
+    """Run one calibration batch so the activation observer has a range."""
+    layer.calibrating = True
+    with no_grad():
+        layer(Tensor(x))
+    layer.calibrating = False
+    return layer
+
+
+class TestLinearEquivalence:
+    def test_weight_only_matches_fake_quant(self, rng):
+        layer = make_qlinear()
+        layer.set_bits(np.array([4, 3, 2, 1, 4]))
+        x = rng.standard_normal((7, 6))
+        spec = compile_integer_layer(layer, "fc")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_with_activation_quantization(self, rng):
+        layer = make_qlinear(act_bits=3)
+        x = np.abs(rng.standard_normal((7, 6)))  # post-ReLU-like input
+        calibrated(layer, x)
+        spec = compile_integer_layer(layer, "fc")
+        assert spec.act_bits == 3
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_pruned_neurons_output_bias_only(self, rng):
+        layer = make_qlinear()
+        layer.set_bits(np.array([0, 0, 0, 0, 0]))
+        x = rng.standard_normal((4, 6))
+        spec = compile_integer_layer(layer, "fc")
+        out = integer_forward(spec, x)
+        np.testing.assert_allclose(out, np.broadcast_to(layer.bias.data, out.shape))
+
+    def test_no_bias_layer(self, rng):
+        rng_local = np.random.default_rng(5)
+        layer = QLinear(6, 5, bias=False, max_bits=4, rng=rng_local)
+        layer.weight.data[...] = rng_local.standard_normal((5, 6))
+        x = rng.standard_normal((3, 6))
+        spec = compile_integer_layer(layer, "fc")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_all_zero_weights_degenerate_range(self, rng):
+        layer = make_qlinear()
+        layer.weight.data[...] = 0.0
+        x = rng.standard_normal((3, 6))
+        spec = compile_integer_layer(layer, "fc")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-12
+        )
+
+
+class TestConvEquivalence:
+    def test_weight_only_matches_fake_quant(self, rng):
+        layer = make_qconv(padding=1)
+        layer.set_bits(np.array([4, 2, 1, 3]))
+        x = rng.standard_normal((2, 3, 6, 6))
+        spec = compile_integer_layer(layer, "conv")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_with_activation_quantization(self, rng):
+        layer = make_qconv(act_bits=2, padding=1)
+        x = np.abs(rng.standard_normal((2, 3, 6, 6)))
+        calibrated(layer, x)
+        spec = compile_integer_layer(layer, "conv")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_strided_conv(self, rng):
+        layer = make_qconv(stride=2, padding=1)
+        x = rng.standard_normal((2, 3, 8, 8))
+        spec = compile_integer_layer(layer, "conv")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-9
+        )
+
+    def test_mixed_pruned_filters(self, rng):
+        layer = make_qconv(padding=1)
+        layer.set_bits(np.array([0, 4, 0, 2]))
+        x = rng.standard_normal((2, 3, 6, 6))
+        spec = compile_integer_layer(layer, "conv")
+        out = integer_forward(spec, x)
+        np.testing.assert_allclose(out, fake_forward(layer, x), atol=1e-9)
+        # Pruned channels carry only their bias.
+        np.testing.assert_allclose(out[:, 0], layer.bias.data[0])
+
+
+class TestCompile:
+    def test_rejects_float_layer(self):
+        with pytest.raises(TypeError, match="QConv2d/QLinear"):
+            compile_integer_layer(Linear(4, 2))
+
+    def test_uncalibrated_observer_raises(self):
+        layer = make_qlinear(act_bits=3)
+        with pytest.raises(RuntimeError, match="uncalibrated"):
+            compile_integer_layer(layer, "fc")
+
+    def test_codes_within_level_range(self, rng):
+        layer = make_qlinear()
+        layer.set_bits(np.array([4, 3, 2, 1, 0]))
+        spec = compile_integer_layer(layer, "fc")
+        for f, bits in enumerate(spec.bits_per_filter):
+            assert spec.codes[f].min() >= 0
+            assert spec.codes[f].max() <= max(0, 2 ** int(bits) - 1)
+
+    def test_filter_scales_zero_for_pruned(self):
+        layer = make_qlinear()
+        layer.set_bits(np.array([0, 4, 0, 2, 1]))
+        spec = compile_integer_layer(layer, "fc")
+        scales = spec.filter_scales()
+        assert scales[0] == 0.0 and scales[2] == 0.0
+        assert (scales[[1, 3, 4]] > 0).all()
+
+    def test_model_without_quantized_layers_raises(self):
+        class Plain(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(4, 2)
+
+            def forward(self, x):
+                return self.fc(x)
+
+        with pytest.raises(ValueError, match="no quantized layers"):
+            compile_integer_model(Plain())
+
+
+class TestModelLevel:
+    @pytest.fixture(scope="class")
+    def quantized_vgg(self):
+        model = VGGSmall(num_classes=4, image_size=8, width=8, rng=np.random.default_rng(0))
+        quantize_model(model, max_bits=4, act_bits=3)
+        rng = np.random.default_rng(1)
+        calibration = [rng.standard_normal((4, 3, 8, 8)) for _ in range(2)]
+        calibrate_activations(model, calibration)
+        model.eval()
+        return model
+
+    def test_whole_model_equivalence(self, quantized_vgg, rng):
+        ok, diff = verify_integer_equivalence(
+            quantized_vgg, rng.standard_normal((3, 3, 8, 8))
+        )
+        assert ok, f"integer execution diverged by {diff}"
+
+    def test_integer_mode_restores_float_path(self, quantized_vgg, rng):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        with no_grad():
+            before = quantized_vgg(x).data.copy()
+            with integer_mode(quantized_vgg):
+                pass
+            after = quantized_vgg(x).data.copy()
+        np.testing.assert_array_equal(before, after)
+
+    def test_accumulator_width_tracked(self, quantized_vgg, rng):
+        with no_grad():
+            with integer_mode(quantized_vgg) as integer_model:
+                quantized_vgg(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        # Activation quantization is on, so int x int MACs ran and the
+        # accumulator profile must be populated and plausible.
+        assert 0 < integer_model.max_acc_bits() <= 64
+
+    def test_integer_mode_cleanup_on_error(self, quantized_vgg):
+        with pytest.raises(RuntimeError, match="boom"):
+            with integer_mode(quantized_vgg):
+                raise RuntimeError("boom")
+        layers = [
+            m
+            for _n, m in quantized_vgg.named_modules()
+            if isinstance(m, (QConv2d, QLinear))
+        ]
+        assert all("forward" not in layer.__dict__ for layer in layers)
+
+
+class TestPropertyEquivalence:
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=4), min_size=5, max_size=5),
+        act_bits=st.one_of(st.none(), st.integers(min_value=1, max_value=6)),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_equivalence_any_arrangement(self, bits, act_bits, seed):
+        rng = np.random.default_rng(seed)
+        layer = make_qlinear(act_bits=act_bits, seed=seed)
+        layer.set_bits(np.array(bits))
+        x = np.abs(rng.standard_normal((4, 6)))
+        if act_bits is not None:
+            calibrated(layer, x)
+        spec = compile_integer_layer(layer, "fc")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-8
+        )
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=4),
+        act_bits=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conv_equivalence_any_arrangement(self, bits, act_bits, seed):
+        rng = np.random.default_rng(seed)
+        layer = make_qconv(act_bits=act_bits, seed=seed, padding=1)
+        layer.set_bits(np.array(bits))
+        x = np.abs(rng.standard_normal((2, 3, 5, 5)))
+        if act_bits is not None:
+            calibrated(layer, x)
+        spec = compile_integer_layer(layer, "conv")
+        np.testing.assert_allclose(
+            integer_forward(spec, x), fake_forward(layer, x), atol=1e-8
+        )
+
+
+class TestAccumulatorBounds:
+    """acc_bits_used must respect the arithmetic worst-case bound."""
+
+    @given(
+        w_bits=st.integers(min_value=1, max_value=4),
+        a_bits=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_linear_acc_within_worst_case(self, w_bits, a_bits, seed):
+        rng = np.random.default_rng(seed)
+        layer = make_qlinear(act_bits=a_bits, seed=seed)
+        layer.set_bits(np.full(5, w_bits))
+        x = np.abs(rng.standard_normal((4, 6)))
+        calibrated(layer, x)
+        spec = compile_integer_layer(layer, "fc")
+        integer_forward(spec, x)
+        # Each output accumulates in_features products of codes bounded
+        # by (2^w - 1)(2^a - 1).
+        worst = 6 * (2**w_bits - 1) * (2**a_bits - 1)
+        assert spec.acc_bits_used <= int(worst).bit_length() + 1
+
+    def test_acc_bits_monotone_across_runs(self, rng):
+        layer = make_qlinear(act_bits=4)
+        small = np.abs(rng.standard_normal((4, 6))) * 0.1
+        large = np.abs(rng.standard_normal((4, 6))) * 10.0
+        calibrated(layer, large)  # range covers both inputs
+        spec = compile_integer_layer(layer, "fc")
+        integer_forward(spec, small)
+        after_small = spec.acc_bits_used
+        integer_forward(spec, large)
+        assert spec.acc_bits_used >= after_small
+
+    def test_weight_only_execution_does_not_track_acc(self, rng):
+        layer = make_qlinear(act_bits=None)
+        spec = compile_integer_layer(layer, "fc")
+        integer_forward(spec, rng.standard_normal((4, 6)))
+        # Float activations -> no integer accumulator profile.
+        assert spec.acc_bits_used == 0

@@ -1,0 +1,162 @@
+"""Tests for repro.quant.packing: bit packing and bitstream round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.export import export_quantized_weights
+from repro.quant.packing import (
+    deserialize_export,
+    pack_bits,
+    read_bitstream,
+    serialize_export,
+    unpack_bits,
+    write_bitstream,
+)
+from repro.quant.qmodules import QLinear, quantize_model
+from repro.models.vgg import VGGSmall
+
+
+class TestPackUnpack:
+    def test_round_trip_known_values(self):
+        codes = np.array([5, 0, 7, 2, 1])
+        packed = pack_bits(codes, bits=3)
+        assert packed.size == 2  # 15 bits -> 2 bytes
+        np.testing.assert_array_equal(unpack_bits(packed, 3, 5), codes)
+
+    def test_single_bit_packing(self):
+        codes = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1])
+        packed = pack_bits(codes, bits=1)
+        assert packed.size == 2
+        np.testing.assert_array_equal(unpack_bits(packed, 1, 9), codes)
+
+    def test_lsb_first_layout(self):
+        # Codes [1, 1] at 1 bit: bits 0 and 1 of the first byte.
+        packed = pack_bits(np.array([1, 1]), bits=1)
+        assert packed[0] == 0b11
+
+    def test_zero_bits_empty(self):
+        assert pack_bits(np.array([0, 0]), bits=0).size == 0
+        np.testing.assert_array_equal(unpack_bits(np.zeros(0, np.uint8), 0, 4), 0)
+
+    def test_code_overflow_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            pack_bits(np.array([8]), bits=3)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1]), bits=-1)
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(1, np.uint8), -1, 1)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError, match="bits"):
+            unpack_bits(np.zeros(1, dtype=np.uint8), bits=4, count=3)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=12),
+        codes=st.lists(st.integers(min_value=0, max_value=2**12 - 1), min_size=0, max_size=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, bits, codes):
+        codes = np.array([c % (2**bits) for c in codes], dtype=np.int64)
+        packed = pack_bits(codes, bits)
+        assert packed.size == (codes.size * bits + 7) // 8
+        np.testing.assert_array_equal(unpack_bits(packed, bits, codes.size), codes)
+
+
+@pytest.fixture(scope="module")
+def vgg_export():
+    model = VGGSmall(num_classes=4, image_size=8, width=8, rng=np.random.default_rng(0))
+    quantize_model(model, max_bits=4)
+    # A mixed arrangement incl. pruned filters.
+    for layer in model.modules():
+        if hasattr(layer, "set_bits") and hasattr(layer, "num_filters"):
+            rng = np.random.default_rng(layer.num_filters)
+            layer.set_bits(rng.integers(0, 5, size=layer.num_filters))
+    return model, export_quantized_weights(model)
+
+
+class TestBitstreamRoundTrip:
+    def test_serialize_deserialize_identical_codes(self, vgg_export):
+        _model, export = vgg_export
+        restored = deserialize_export(serialize_export(export))
+        assert set(restored.layers) == set(export.layers)
+        for name, layer in export.layers.items():
+            other = restored.layers[name]
+            assert other.weight_shape == layer.weight_shape
+            assert other.lower == layer.lower and other.upper == layer.upper
+            np.testing.assert_array_equal(other.bits_per_filter, layer.bits_per_filter)
+            for f in range(len(layer.bits_per_filter)):
+                np.testing.assert_array_equal(other.codes[f], layer.codes[f])
+
+    def test_reconstruction_bit_exact_after_round_trip(self, vgg_export):
+        _model, export = vgg_export
+        restored = deserialize_export(serialize_export(export))
+        for name, layer in export.layers.items():
+            np.testing.assert_array_equal(
+                restored.layers[name].reconstruct(), layer.reconstruct()
+            )
+
+    def test_file_round_trip(self, vgg_export, tmp_path):
+        _model, export = vgg_export
+        path = tmp_path / "model.cqw"
+        written = write_bitstream(export, path)
+        assert path.stat().st_size == written
+        restored = read_bitstream(path)
+        assert set(restored.layers) == set(export.layers)
+
+    def test_file_size_matches_claimed_bits(self, vgg_export, tmp_path):
+        """The storage claim is physical: the file is payload + headers +
+        at most one byte of padding per stored filter."""
+        _model, export = vgg_export
+        path = tmp_path / "model.cqw"
+        written_bits = write_bitstream(export, path) * 8
+        claimed = export.quantized_payload_bits
+        stored_filters = sum(
+            int((layer.bits_per_filter > 0).sum()) for layer in export.layers.values()
+        )
+        header_slack = 8 * (8 + sum(
+            2 + len(layer.name) + 1 + 4 * len(layer.weight_shape) + 8
+            for layer in export.layers.values()
+        ))
+        assert written_bits >= claimed - 8 * 2 * 64 * len(export.layers)
+        assert written_bits <= claimed + 8 * stored_filters + header_slack
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="CQW1"):
+            deserialize_export(b"XXXX\x00\x00\x00\x00")
+
+    def test_truncated_stream_rejected(self, vgg_export):
+        _model, export = vgg_export
+        data = serialize_export(export)
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_export(data[: len(data) // 2])
+
+
+class TestPrunedFilters:
+    def test_fully_pruned_layer_stores_nothing(self):
+        rng = np.random.default_rng(0)
+        layer = QLinear(6, 4, max_bits=4, rng=rng)
+        layer.weight.data[...] = rng.standard_normal((4, 6))
+
+        from repro.nn.module import Module
+
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.first = QLinear(6, 6, max_bits=4, rng=rng)
+                self.mid = layer
+                self.last = QLinear(4, 2, max_bits=4, rng=rng)
+
+            def forward(self, x):
+                return self.last(self.mid(self.first(x)))
+
+        model = Holder()
+        layer.set_bits(np.zeros(4, dtype=np.int64))
+        export = export_quantized_weights(model)
+        restored = deserialize_export(serialize_export(export))
+        mid = restored.layers["mid"]
+        assert all(code.size == 0 for code in mid.codes)
+        np.testing.assert_array_equal(mid.reconstruct(), 0.0)

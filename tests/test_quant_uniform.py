@@ -1,0 +1,216 @@
+"""Tests for the uniform quantizer (eqs. 1-3), including hypothesis
+property tests on its mathematical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    UniformQuantizer,
+    average_bit_width,
+    quantize_per_filter,
+    quantize_uniform,
+)
+from repro.quant.uniform import quantization_levels
+
+
+class TestQuantizationLevels:
+    def test_levels_power_of_two(self):
+        assert quantization_levels(1) == 2
+        assert quantization_levels(4) == 16
+        assert quantization_levels(0) == 1
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            quantization_levels(-1)
+
+
+class TestQuantizeUniform:
+    def test_zero_bits_prunes(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_array_equal(quantize_uniform(x, 0, -1, 1), np.zeros(10))
+
+    def test_one_bit_symmetric_is_sign(self):
+        x = np.array([-0.7, -0.1, 0.3, 0.9])
+        out = quantize_uniform(x, 1, -1.0, 1.0)
+        np.testing.assert_array_equal(out, [-1.0, -1.0, 1.0, 1.0])
+
+    def test_clipping_below(self):
+        out = quantize_uniform(np.array([-5.0]), 4, -1.0, 1.0)
+        assert out[0] == -1.0
+
+    def test_clipping_above(self):
+        out = quantize_uniform(np.array([5.0]), 4, -1.0, 1.0)
+        assert out[0] == 1.0
+
+    def test_endpoints_representable(self):
+        out = quantize_uniform(np.array([-1.0, 1.0]), 3, -1.0, 1.0)
+        np.testing.assert_array_equal(out, [-1.0, 1.0])
+
+    def test_degenerate_range(self):
+        out = quantize_uniform(np.array([1.0, 2.0]), 3, 0.5, 0.5)
+        np.testing.assert_array_equal(out, [0.5, 0.5])
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.zeros(2), 2, 1.0, -1.0)
+
+    def test_known_two_bit_grid(self):
+        """2 bits over [0,3] -> grid {0,1,2,3}."""
+        x = np.array([0.4, 1.6, 2.4, 2.6])
+        out = quantize_uniform(x, 2, 0.0, 3.0)
+        np.testing.assert_array_equal(out, [0.0, 2.0, 2.0, 3.0])
+
+    def test_more_bits_reduce_error(self, rng):
+        x = rng.uniform(-1, 1, 1000)
+        errors = [
+            np.abs(quantize_uniform(x, bits, -1, 1) - x).mean() for bits in (1, 2, 4, 8)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestUniformQuantizerClass:
+    def test_for_weights_symmetric(self, rng):
+        w = rng.standard_normal(100) * 3
+        quantizer = UniformQuantizer.for_weights(w)
+        assert quantizer.lower == -quantizer.upper
+        assert quantizer.upper == pytest.approx(np.abs(w).max())
+
+    def test_for_weights_empty(self):
+        quantizer = UniformQuantizer.for_weights(np.zeros(0))
+        assert quantizer.lower == quantizer.upper == 0.0
+
+    def test_for_activations_zero_lower(self):
+        quantizer = UniformQuantizer.for_activations(7.0)
+        assert quantizer.lower == 0.0
+        assert quantizer.upper == 7.0
+
+    def test_grid_size(self):
+        quantizer = UniformQuantizer(-1, 1)
+        assert len(quantizer.grid(3)) == 8
+        assert len(quantizer.grid(0)) == 1
+
+    def test_grid_endpoints(self):
+        grid = UniformQuantizer(-2, 2).grid(4)
+        assert grid[0] == -2.0
+        assert grid[-1] == 2.0
+
+    def test_repr(self):
+        assert "[-1.0, 1.0]" in repr(UniformQuantizer(-1, 1))
+
+
+class TestQuantizePerFilter:
+    def test_mixed_bits_per_filter(self, rng):
+        weight = rng.standard_normal((3, 4))
+        bits = np.array([0, 1, 4])
+        out = quantize_per_filter(weight, bits)
+        np.testing.assert_array_equal(out[0], np.zeros(4))
+        bound = np.abs(weight).max()
+        np.testing.assert_array_equal(np.abs(out[1]), np.full(4, bound))
+
+    def test_range_shared_across_layer(self, rng):
+        """The clip range comes from the whole layer, not per filter."""
+        weight = np.array([[0.1, 0.1], [10.0, -10.0]])
+        out = quantize_per_filter(weight, np.array([1, 1]))
+        # filter 0 values snap to +/-10 (layer range), not +/-0.1
+        np.testing.assert_array_equal(np.abs(out[0]), [10.0, 10.0])
+
+    def test_conv_weight_shape(self, rng):
+        weight = rng.standard_normal((4, 3, 3, 3))
+        out = quantize_per_filter(weight, np.array([0, 2, 4, 8]))
+        assert out.shape == weight.shape
+        np.testing.assert_array_equal(out[0], np.zeros((3, 3, 3)))
+
+    def test_wrong_bit_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            quantize_per_filter(rng.standard_normal((3, 4)), np.array([1, 2]))
+
+    def test_high_bits_nearly_identity(self, rng):
+        weight = rng.standard_normal((2, 50))
+        out = quantize_per_filter(weight, np.array([16, 16]))
+        np.testing.assert_allclose(out, weight, atol=1e-3)
+
+
+class TestAverageBitWidth:
+    def test_single_layer(self):
+        avg = average_bit_width({"a": np.array([2, 4])}, {"a": 10})
+        assert avg == pytest.approx(3.0)
+
+    def test_weighted_by_filter_size(self):
+        avg = average_bit_width(
+            {"small": np.array([0]), "big": np.array([4])},
+            {"small": 1, "big": 3},
+        )
+        assert avg == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_bit_width({}, {})
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=16),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestQuantizerProperties:
+    @given(x=finite_arrays, bits=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_output_within_range(self, x, bits):
+        out = quantize_uniform(x, bits, -2.0, 3.0)
+        assert np.all(out >= -2.0) and np.all(out <= 3.0)
+
+    @given(x=finite_arrays, bits=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, x, bits):
+        once = quantize_uniform(x, bits, -2.0, 3.0)
+        twice = quantize_uniform(once, bits, -2.0, 3.0)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(x=finite_arrays, bits=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_half_step(self, x, bits):
+        lower, upper = -2.0, 3.0
+        out = quantize_uniform(x, bits, lower, upper)
+        step = (upper - lower) / (2 ** bits - 1) if bits > 0 else upper - lower
+        clipped = np.clip(x, lower, upper)
+        assert np.all(np.abs(out - clipped) <= step / 2 + 1e-9)
+
+    @given(
+        x=st.lists(st.floats(-10, 10), min_size=2, max_size=20).map(np.array),
+        bits=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_non_decreasing(self, x, bits):
+        x = np.sort(x)
+        out = quantize_uniform(x, bits, -10.0, 10.0)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    @given(x=finite_arrays, bits=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_values_on_grid(self, x, bits):
+        quantizer = UniformQuantizer(-2.0, 3.0)
+        out = quantizer(x, bits)
+        grid = quantizer.grid(bits)
+        distances = np.abs(out.reshape(-1, 1) - grid.reshape(1, -1)).min(axis=1)
+        assert np.all(distances < 1e-9)
+
+    @given(
+        bits=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(1, 10),
+            elements=st.integers(0, 8),
+        ),
+        per_filter=st.integers(1, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_average_in_bit_range(self, bits, per_filter):
+        avg = average_bit_width({"layer": bits}, {"layer": per_filter})
+        assert bits.min() <= avg <= bits.max()

@@ -1,0 +1,120 @@
+"""Tests for the *structural* properties of SynthCIFAR that CQ relies on.
+
+DESIGN.md §2 claims the generator produces class-private, class-shared
+and global patterns so that trained filters specialise to one, a few or
+all classes. These tests verify that claim directly on the generator
+(prototype geometry) and on a trained network (importance-score spread).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SynthCIFARConfig, _build_prototypes, make_synth_cifar
+
+
+class TestPrototypeGeometry:
+    @pytest.fixture(scope="class")
+    def prototypes(self):
+        cfg = SynthCIFARConfig(num_classes=8, image_size=12, seed=5)
+        rng = np.random.default_rng(cfg.seed)
+        return _build_prototypes(cfg, rng), cfg
+
+    def test_unit_norm(self, prototypes):
+        protos, _ = prototypes
+        norms = np.sqrt((protos ** 2).sum(axis=(1, 2, 3)))
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_neighbours_more_similar_than_distant(self):
+        """Shared patterns bridge class m and m+1 (the Figure-1 overlap):
+        adjacent prototypes correlate more than offset-3 pairs (which
+        share neither a neighbour pattern nor — with 4 global patterns —
+        a global one). Averaged over seeds to beat sampling noise."""
+        adjacent_means = []
+        distant_means = []
+        for seed in range(6):
+            cfg = SynthCIFARConfig(num_classes=8, image_size=12, seed=seed)
+            protos = _build_prototypes(cfg, np.random.default_rng(cfg.seed))
+            m = cfg.num_classes
+            gram = np.einsum("ichw,jchw->ij", protos, protos)
+            adjacent_means.append(np.mean([gram[i, (i + 1) % m] for i in range(m)]))
+            distant_means.append(np.mean([gram[i, (i + 3) % m] for i in range(m)]))
+        assert np.mean(adjacent_means) > np.mean(distant_means) + 0.02
+
+    def test_all_pairs_positively_coupled_by_global_patterns(self, prototypes):
+        """Global patterns give every pair some baseline similarity."""
+        protos, cfg = prototypes
+        m = cfg.num_classes
+        gram = np.einsum("ichw,jchw->ij", protos, protos)
+        off_diagonal = gram[~np.eye(m, dtype=bool)]
+        assert off_diagonal.mean() > 0.0
+
+    def test_distinct_prototypes(self, prototypes):
+        protos, cfg = prototypes
+        m = cfg.num_classes
+        gram = np.einsum("ichw,jchw->ij", protos, protos)
+        off_diagonal = gram[~np.eye(m, dtype=bool)]
+        assert off_diagonal.max() < 0.99  # no two classes collapse
+
+
+class TestSampleStatistics:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synth_cifar(
+            num_classes=6, image_size=12, train_per_class=30, val_per_class=10,
+            test_per_class=10, seed=2,
+        )
+
+    def test_within_class_similarity_exceeds_between(self, dataset):
+        images = dataset.train_images
+        labels = dataset.train_labels
+        flat = images.reshape(len(images), -1)
+        flat = flat / np.linalg.norm(flat, axis=1, keepdims=True)
+        gram = flat @ flat.T
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        within = gram[same].mean()
+        between = gram[~same & ~np.eye(len(labels), dtype=bool)].mean()
+        assert within > between + 0.1
+
+    def test_jitter_produces_intra_class_variation(self, dataset):
+        images = dataset.train_images
+        labels = dataset.train_labels
+        class0 = images[labels == 0]
+        pairwise_mse = ((class0[0] - class0[1]) ** 2).mean()
+        assert pairwise_mse > 1e-4  # samples are not identical
+
+    def test_splits_are_distinct_samples(self, dataset):
+        assert not np.array_equal(dataset.train_images[:10], dataset.val_images[:10])
+
+
+class TestImportanceSpread:
+    def test_trained_model_has_class_specialised_neurons(self):
+        """After training, some neurons must serve few classes and some
+        many — the spectrum Figure 2 shows. This is the load-bearing
+        property of the synthetic substitute."""
+        from repro.core.importance import ImportanceScorer
+        from repro.data import ArrayDataset, DataLoader
+        from repro.models.mlp import MLP
+        from repro.optim import SGD
+        from repro.train import Trainer
+
+        dataset = make_synth_cifar(
+            num_classes=6, image_size=12, train_per_class=30, val_per_class=10,
+            test_per_class=5, seed=3,
+        )
+        model = MLP(3 * 12 * 12, (32, 24, 16), 6, rng=np.random.default_rng(0))
+        loader = DataLoader(
+            ArrayDataset(dataset.train_images, dataset.train_labels),
+            batch_size=30, shuffle=True, seed=0,
+        )
+        Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9)).fit(
+            loader, epochs=12
+        )
+        importance = ImportanceScorer(model).score(dataset.class_batches(8, "val"))
+        gamma = np.concatenate(
+            [scores.reshape(-1) for scores in importance.neuron_scores.values()]
+        )
+        # Spread: neither all-important nor all-dead.
+        assert gamma.max() > 0.6 * dataset.num_classes
+        assert gamma.std() > 0.3
+        assert (gamma < 0.5 * dataset.num_classes).any()
