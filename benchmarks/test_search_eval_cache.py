@@ -1,0 +1,88 @@
+"""Search-evaluation cache benchmark on the Figure-3 preset.
+
+Runs the paper's threshold search (VGG-small, target 2.0 average bits,
+T1=50%, R=0.8) twice — once through the cached
+:class:`~repro.core.evaluator.IncrementalEvaluator` and once through the
+naive re-quantize-everything closure — and asserts the engineering
+contract of the incremental engine:
+
+* bit-exact accuracies, thresholds and traces between the two runs,
+* at least a 3x reduction in per-layer re-quantization work,
+* a wall-time win for the cached search.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.render import ascii_table
+from repro.core.config import CQConfig
+from repro.core.importance import ImportanceScorer
+from repro.core.search import BitWidthSearch, make_weight_quant_evaluator
+from repro.experiments.presets import get_pretrained
+
+
+def _fig3_search_inputs(scale: str, seed: int = 0):
+    config = CQConfig(
+        target_avg_bits=2.0, max_bits=4, t1=0.5, decay=0.8, step=None, act_bits=None
+    )
+    model, dataset, _ = get_pretrained("vgg-small", "synth10", scale, seed)
+    samples = min(config.samples_per_class, dataset.config.val_per_class)
+    importance = ImportanceScorer(model, eps=config.eps).score(
+        dataset.class_batches(samples, split="val")
+    )
+    filter_scores = importance.filter_scores()
+    count = min(config.search_batch_size, len(dataset.val_images))
+    val_images = dataset.val_images[:count]
+    val_labels = dataset.val_labels[:count]
+    weights_per_filter = {
+        name: dict(model.named_modules())[name].weight.size // len(scores)
+        for name, scores in filter_scores.items()
+    }
+    return config, model, val_images, val_labels, filter_scores, weights_per_filter
+
+
+def test_search_eval_cache_fig3(benchmark, scale):
+    config, model, images, labels, scores, wpf = _fig3_search_inputs(scale)
+
+    def run_both():
+        cached_eval = make_weight_quant_evaluator(model, images, labels, config.max_bits)
+        cached = BitWidthSearch(scores, wpf, cached_eval, config).run()
+        naive_eval = make_weight_quant_evaluator(
+            model, images, labels, config.max_bits, incremental=False
+        )
+        naive = BitWidthSearch(scores, wpf, naive_eval, config).run()
+        return cached, naive
+
+    cached, naive = run_once(benchmark, run_both)
+    stats = cached.eval_stats
+
+    print()
+    print(
+        ascii_table(
+            ["engine", "evaluations", "filter requants", "wall s"],
+            [
+                ["naive", naive.evaluations,
+                 stats.naive_filter_quantizations, round(naive.search_seconds, 3)],
+                ["cached", cached.evaluations,
+                 stats.filters_quantized, round(cached.search_seconds, 3)],
+            ],
+            title="Figure-3 search cost: naive vs incremental evaluator",
+        )
+    )
+    print(stats.summary())
+
+    # -------- correctness: the cached path is bit-exact ----------------
+    np.testing.assert_array_equal(cached.thresholds, naive.thresholds)
+    assert cached.final_accuracy == naive.final_accuracy
+    assert cached.evaluations == naive.evaluations
+    assert [s.accuracy for s in cached.steps] == [s.accuracy for s in naive.steps]
+
+    # -------- cost: >= 3x fewer per-layer re-quantizations -------------
+    assert stats.evaluations == cached.evaluations
+    assert stats.quantization_reduction >= 3.0, stats.summary()
+
+    # The prefix cache engaged (VGG-small is a chain) and step timings
+    # were recorded for the Figure-3 cost trace.
+    assert stats.partial_forwards > 0
+    assert all(step.eval_seconds >= 0.0 for step in cached.steps)
+    assert cached.search_seconds <= naive.search_seconds

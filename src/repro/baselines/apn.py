@@ -199,6 +199,8 @@ def train_apn(
     accuracy_by_bits: Dict[int, float] = {}
     for bits in apn.bit_widths:
         apn.set_precision(bits)
-        accuracy_by_bits[bits] = evaluate_model(apn, test_loader).accuracy
-    accuracy_fp = evaluate_model(teacher, test_loader).accuracy
+        accuracy_by_bits[bits] = evaluate_model(
+            apn, test_loader, accuracy_only=True
+        ).accuracy
+    accuracy_fp = evaluate_model(teacher, test_loader, accuracy_only=True).accuracy
     return APNResult(apn, accuracy_by_bits, accuracy_fp)

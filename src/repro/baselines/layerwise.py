@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.config import CQConfig
 from repro.core.distill import refine_quantized_model
+from repro.core.evaluator import EvalStats
 from repro.core.search import make_weight_quant_evaluator
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.nn.module import Module
@@ -81,6 +82,9 @@ class LayerwiseSearchResult:
     bit_map: BitWidthMap
     evaluations: int
     search_accuracy: float  #: validation accuracy of the final assignment
+    eval_stats: Optional[EvalStats] = None
+    """Evaluator cache counters — greedy/anneal probes revisit many
+    assignments, so the whole-assignment memo absorbs most of them."""
 
     @property
     def average_bits(self) -> float:
@@ -140,8 +144,9 @@ def search_layerwise_bits(
     """Allocate one bit-width per quantizable layer under the budget.
 
     Evaluation matches CQ's search protocol (weights-only fake
-    quantization on a fixed validation batch), so the two searches see
-    the same signal and differ only in granularity.
+    quantization on a fixed validation batch, served by the cached
+    :class:`~repro.core.evaluator.IncrementalEvaluator`), so the two
+    searches see the same signal and differ only in granularity.
     """
     filter_counts, weights_per_filter = _layer_shapes(model, config.max_bits)
     evaluate = make_weight_quant_evaluator(
@@ -166,11 +171,13 @@ def search_layerwise_bits(
         layer_bits, accuracy = _anneal_allocate(accuracy_of, avg_of, filter_counts, config)
 
     bit_map = BitWidthMap(_expand(layer_bits, filter_counts), weights_per_filter)
+    stats = getattr(evaluate, "stats", None)
     return LayerwiseSearchResult(
         layer_bits=layer_bits,
         bit_map=bit_map,
         evaluations=evaluations,
         search_accuracy=accuracy,
+        eval_stats=stats.snapshot() if isinstance(stats, EvalStats) else None,
     )
 
 
@@ -266,7 +273,7 @@ def train_layerwise_baseline(
         ArrayDataset(dataset.test_images, dataset.test_labels),
         batch_size=cfg.refine_batch_size,
     )
-    before = evaluate_model(student, test_loader).accuracy
+    before = evaluate_model(student, test_loader, accuracy_only=True).accuracy
     history = (
         refine_quantized_model(
             student,
@@ -278,7 +285,7 @@ def train_layerwise_baseline(
         if cfg.refine_epochs > 0
         else History()
     )
-    after = evaluate_model(student, test_loader).accuracy
+    after = evaluate_model(student, test_loader, accuracy_only=True).accuracy
     return LayerwiseBaselineResult(
         model=student,
         search=search,

@@ -14,6 +14,11 @@ from repro.core.act_allocation import (
     apply_activation_bits,
 )
 from repro.core.config import CQConfig
+from repro.core.evaluator import (
+    EvalStats,
+    IncrementalEvaluator,
+    make_naive_weight_quant_evaluator,
+)
 from repro.core.importance import (
     ImportanceResult,
     ImportanceScorer,
@@ -24,6 +29,7 @@ from repro.core.search import (
     SearchResult,
     SearchStep,
     assign_bits,
+    make_weight_quant_evaluator,
 )
 from repro.core.distill import refine_quantized_model
 from repro.core.pipeline import CQResult, ClassBasedQuantizer
@@ -38,11 +44,15 @@ __all__ = [
     "CQConfig",
     "CQResult",
     "ClassBasedQuantizer",
+    "EvalStats",
     "ImportanceResult",
     "ImportanceScorer",
+    "IncrementalEvaluator",
     "SearchResult",
     "SearchStep",
     "assign_bits",
+    "make_naive_weight_quant_evaluator",
+    "make_weight_quant_evaluator",
     "neuron_scores_to_filter_scores",
     "refine_quantized_model",
 ]

@@ -18,12 +18,9 @@ import numpy as np
 
 from repro.core.config import CQConfig
 from repro.core.distill import refine_quantized_model
+from repro.core.evaluator import IncrementalEvaluator
 from repro.core.importance import ImportanceResult, ImportanceScorer
-from repro.core.search import (
-    BitWidthSearch,
-    SearchResult,
-    make_weight_quant_evaluator,
-)
+from repro.core.search import BitWidthSearch, SearchResult
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.data.synthetic import SynthCIFAR
 from repro.nn.module import Module
@@ -152,10 +149,16 @@ class ClassBasedQuantizer:
         dataset: SynthCIFAR,
         importance: ImportanceResult,
     ) -> SearchResult:
-        """Stage 2: threshold search (Sec. III-C)."""
+        """Stage 2: threshold search (Sec. III-C).
+
+        Accuracy queries run through the cached
+        :class:`~repro.core.evaluator.IncrementalEvaluator` (bit-exact
+        with the naive protocol); its cost counters are returned in
+        :attr:`SearchResult.eval_stats`.
+        """
         cfg = self.config
         count = min(cfg.search_batch_size, len(dataset.val_images))
-        evaluator = make_weight_quant_evaluator(
+        evaluator = IncrementalEvaluator(
             model,
             dataset.val_images[:count],
             dataset.val_labels[:count],

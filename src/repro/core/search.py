@@ -19,23 +19,48 @@ filters to 0 bits.
 
 Every evaluation is recorded as a :class:`SearchStep` so Figure 3 can be
 regenerated from the trace.
+
+Evaluation engine
+-----------------
+Accuracy queries go through the incremental engine in
+:mod:`repro.core.evaluator` (:func:`make_weight_quant_evaluator` returns
+an :class:`~repro.core.evaluator.IncrementalEvaluator`): per-layer
+quantized weights are cached by bit-vector hash, chain-structured models
+resume forwards from the first changed layer's cached input activation,
+and whole assignments are memoized so Phase-2 squeeze revisits are free.
+The cached path is bit-exact with the naive re-quantize-everything
+protocol (enforced by ``tests/test_search_eval_cache.py``); its cost
+counters are snapshotted into :attr:`SearchResult.eval_stats` and each
+step carries its evaluation wall time, so Figure-3 traces also report
+search cost.
+
+Test tiers
+----------
+The repo splits its suite into a fast tier (``python -m pytest -x -q``,
+the default: excludes tests marked ``slow`` via ``pytest.ini``) and a
+slow tier (``-m slow``: paper-scale geometry, end-to-end integration,
+CLI experiment runs). Changes to this module must keep the fast tier
+green; search-cost regressions are caught by
+``benchmarks/test_search_eval_cache.py``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.config import CQConfig
+from repro.core.evaluator import (
+    EvalStats,
+    IncrementalEvaluator,
+    make_naive_weight_quant_evaluator,
+)
 from repro.nn.module import Module
 from repro.quant.bitmap import BitWidthMap
-from repro.quant.qmodules import quantize_model, quantized_layers
 from repro.quant.uniform import average_bit_width
-from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor, no_grad
-from repro.utils.misc import clone_module
 
 EvaluateFn = Callable[[Mapping[str, np.ndarray]], float]
 
@@ -75,6 +100,9 @@ class SearchStep:
     target_accuracy: float
     """The stopping target ``T_k`` in force during this step."""
 
+    eval_seconds: float = 0.0
+    """Wall time of this step's accuracy evaluation (cache hits ~0)."""
+
 
 @dataclass
 class SearchResult:
@@ -85,6 +113,12 @@ class SearchResult:
     steps: List[SearchStep] = field(repr=False, default_factory=list)
     final_accuracy: float = float("nan")
     evaluations: int = 0
+    search_seconds: float = 0.0
+    """Wall time of the whole search (evaluations + bookkeeping)."""
+
+    eval_stats: Optional[EvalStats] = None
+    """Cumulative evaluator cost counters, when the evaluator exposes
+    them (see :class:`~repro.core.evaluator.IncrementalEvaluator`)."""
 
     @property
     def average_bits(self) -> float:
@@ -150,6 +184,8 @@ class BitWidthSearch:
         thresholds = np.zeros(n, dtype=np.float64)
         steps: List[SearchStep] = []
         evaluations = 0
+        last_eval_seconds = 0.0
+        run_started = time.perf_counter()
 
         def current_avg(t: np.ndarray) -> float:
             return average_bit_width(
@@ -157,9 +193,12 @@ class BitWidthSearch:
             )
 
         def evaluate(t: np.ndarray) -> float:
-            nonlocal evaluations
+            nonlocal evaluations, last_eval_seconds
             evaluations += 1
-            return float(self.evaluate_fn(assign_bits(self.filter_scores, t)))
+            started = time.perf_counter()
+            accuracy = float(self.evaluate_fn(assign_bits(self.filter_scores, t)))
+            last_eval_seconds = time.perf_counter() - started
+            return accuracy
 
         avg = current_avg(thresholds)
         accuracy = float("nan")
@@ -187,7 +226,10 @@ class BitWidthSearch:
                 avg = current_avg(thresholds)
                 accuracy = evaluate(thresholds)
                 steps.append(
-                    SearchStep("prune", k, candidate, accuracy, avg, target)
+                    SearchStep(
+                        "prune", k, candidate, accuracy, avg, target,
+                        eval_seconds=last_eval_seconds,
+                    )
                 )
                 if accuracy < target or avg <= cfg.target_avg_bits:
                     break
@@ -207,7 +249,8 @@ class BitWidthSearch:
                     accuracy = evaluate(thresholds)
                     steps.append(
                         SearchStep(
-                            "squeeze", k, float(thresholds[k - 1]), accuracy, avg, target
+                            "squeeze", k, float(thresholds[k - 1]), accuracy, avg,
+                            target, eval_seconds=last_eval_seconds,
                         )
                     )
                 if avg <= cfg.target_avg_bits:
@@ -217,12 +260,15 @@ class BitWidthSearch:
         bit_map = BitWidthMap(bits, self.weights_per_filter)
         if not np.isfinite(accuracy):
             accuracy = evaluate(thresholds)
+        stats = getattr(self.evaluate_fn, "stats", None)
         return SearchResult(
             thresholds=thresholds,
             bit_map=bit_map,
             steps=steps,
             final_accuracy=accuracy,
             evaluations=evaluations,
+            search_seconds=time.perf_counter() - run_started,
+            eval_stats=stats.snapshot() if isinstance(stats, EvalStats) else None,
         )
 
 
@@ -231,6 +277,7 @@ def make_weight_quant_evaluator(
     val_images: np.ndarray,
     val_labels: np.ndarray,
     max_bits: int,
+    incremental: bool = True,
 ) -> EvaluateFn:
     """Standard search evaluator: weights-only fake quantization.
 
@@ -238,19 +285,13 @@ def make_weight_quant_evaluator(
     with full-precision activations ("the algorithm uses inference of
     validation samples", Sec. I) and evaluates each candidate bit
     assignment on a fixed validation batch.
+
+    Returns an :class:`~repro.core.evaluator.IncrementalEvaluator`
+    (cached, bit-exact with the naive protocol; exposes ``.stats``).
+    Pass ``incremental=False`` for the uncached reference closure.
     """
-    val_images = np.asarray(val_images)
-    val_labels = np.asarray(val_labels)
-    surrogate = clone_module(model)
-    quantize_model(surrogate, max_bits=max_bits, act_bits=None)
-    surrogate.eval()
-    layers = quantized_layers(surrogate)
-
-    def evaluate(bits: Mapping[str, np.ndarray]) -> float:
-        for name, layer_bits in bits.items():
-            layers[name].set_bits(layer_bits)
-        with no_grad():
-            logits = surrogate(Tensor(val_images))
-        return F.accuracy(logits, val_labels)
-
-    return evaluate
+    if not incremental:
+        return make_naive_weight_quant_evaluator(
+            model, val_images, val_labels, max_bits
+        )
+    return IncrementalEvaluator(model, val_images, val_labels, max_bits)

@@ -45,8 +45,13 @@ class History:
         return self.val[-1].accuracy if self.val else float("nan")
 
 
-def evaluate_model(model: Module, loader) -> EpochMetrics:
-    """Loss/accuracy of ``model`` over a loader, in eval mode, no gradients."""
+def evaluate_model(model: Module, loader, accuracy_only: bool = False) -> EpochMetrics:
+    """Loss/accuracy of ``model`` over a loader, in eval mode, no gradients.
+
+    ``accuracy_only=True`` skips the cross-entropy computation (the
+    returned ``loss`` is NaN) — the fast path for search and baseline
+    callers that only consume ``.accuracy``.
+    """
     was_training = model.training
     model.eval()
     total_loss = 0.0
@@ -55,15 +60,17 @@ def evaluate_model(model: Module, loader) -> EpochMetrics:
     with no_grad():
         for images, labels in loader:
             logits = model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
             batch = len(labels)
-            total_loss += float(loss.data) * batch
+            if not accuracy_only:
+                loss = F.cross_entropy(logits, labels)
+                total_loss += float(loss.data) * batch
             total_correct += int((logits.data.argmax(axis=1) == labels).sum())
             total += batch
     model.train(was_training)
     if total == 0:
         raise ValueError("loader produced no batches")
-    return EpochMetrics(total_loss / total, total_correct / total, total)
+    mean_loss = float("nan") if accuracy_only else total_loss / total
+    return EpochMetrics(mean_loss, total_correct / total, total)
 
 
 class Trainer:

@@ -18,6 +18,8 @@ from repro.quant.integer import verify_integer_equivalence
 from repro.quant.qmodules import extract_bit_map, quantize_model
 from repro.utils.checkpoint import load_checkpoint, save_checkpoint
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def cq_result(trained_mlp, tiny_dataset):

@@ -10,6 +10,8 @@ from repro.models import build_model
 from repro.optim import SGD, MultiStepLR
 from repro.train import Trainer, evaluate_model
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def conv_dataset():

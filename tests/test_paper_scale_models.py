@@ -11,8 +11,9 @@ from repro.models import ResNet20, VGGSmall
 from repro.quant.qmodules import quantizable_layer_names
 from repro.tensor import Tensor
 
+pytestmark = pytest.mark.slow
 
-@pytest.mark.slow
+
 class TestPaperScaleConstruction:
     def test_vgg_small_paper_width(self):
         model = VGGSmall(

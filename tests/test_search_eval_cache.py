@@ -1,0 +1,245 @@
+"""Bit-exactness contract of the incremental search evaluator.
+
+The cached engine (:class:`repro.core.evaluator.IncrementalEvaluator`)
+must return *exactly* the accuracy the naive re-quantize-everything
+closure returns, for any sequence of bit assignments — including the
+revisits Phase 2 of the threshold search produces. These tests drive
+both evaluators through randomized seeded trajectories on all three
+model families (chain MLP/VGG and the residual ResNet fallback) and
+compare with ``==``, not ``pytest.approx``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CQConfig
+from repro.core.evaluator import (
+    EvalStats,
+    IncrementalEvaluator,
+    make_naive_weight_quant_evaluator,
+)
+from repro.core.search import BitWidthSearch, assign_bits, make_weight_quant_evaluator
+from repro.models.mlp import MLP
+from repro.models.resnet import ResNet20
+from repro.models.vgg import VGGSmall
+
+MAX_BITS = 4
+
+
+def build(family: str, seed: int = 0):
+    """(model, images, labels) for one family, small enough for CI."""
+    rng = np.random.default_rng(seed)
+    if family == "mlp":
+        model = MLP(3 * 8 * 8, (16, 12, 10), 4, rng=np.random.default_rng(seed + 1))
+        images = rng.standard_normal((32, 3, 8, 8))
+    elif family == "vgg":
+        model = VGGSmall(
+            num_classes=4, image_size=8, width=4, rng=np.random.default_rng(seed + 1)
+        )
+        images = rng.standard_normal((16, 3, 8, 8))
+    elif family == "resnet":
+        model = ResNet20(num_classes=4, base_width=4, rng=np.random.default_rng(seed + 1))
+        images = rng.standard_normal((8, 3, 8, 8))
+    else:  # pragma: no cover
+        raise ValueError(family)
+    labels = rng.integers(0, 4, len(images))
+    return model, images, labels
+
+
+def random_threshold_trajectory(rng, num_thresholds=MAX_BITS, length=12, top=4.0):
+    """Non-decreasing threshold vectors walking up the score axis, with
+    revisits of earlier states (Phase-2 squeeze re-evaluates prefixes)."""
+    thresholds = np.zeros(num_thresholds)
+    history = [thresholds.copy()]
+    for _ in range(length):
+        k = int(rng.integers(0, num_thresholds))
+        thresholds[k:] = np.maximum(thresholds[k:], thresholds[k] + rng.uniform(0, top / 6))
+        history.append(thresholds.copy())
+        if rng.random() < 0.3 and len(history) > 2:
+            history.append(history[int(rng.integers(0, len(history)))].copy())
+    return history
+
+
+@pytest.mark.parametrize("family", ["mlp", "vgg", "resnet"])
+def test_cached_matches_naive_on_threshold_trajectories(family):
+    model, images, labels = build(family)
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(7)
+    scores = {
+        name: rng.random(layer.num_filters) * 4.0
+        for name, layer in cached.layers.items()
+    }
+    for trajectory_seed in range(3):
+        walk_rng = np.random.default_rng(100 + trajectory_seed)
+        for thresholds in random_threshold_trajectory(walk_rng):
+            bits = assign_bits(scores, thresholds)
+            assert cached(bits) == naive(bits)
+
+
+@pytest.mark.parametrize("family", ["mlp", "vgg", "resnet"])
+def test_cached_matches_naive_on_random_assignments(family):
+    """Adversarial non-monotone assignments (not threshold-induced)."""
+    model, images, labels = build(family, seed=3)
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(11)
+    names = list(cached.layers)
+    history = []
+    for step in range(25):
+        if history and step % 5 == 4:
+            bits = history[int(rng.integers(0, len(history)))]  # revisit
+        else:
+            bits = {
+                name: rng.integers(0, MAX_BITS + 1, cached.layers[name].num_filters)
+                for name in names
+            }
+        history.append(bits)
+        assert cached(bits) == naive(bits)
+
+
+@pytest.mark.parametrize("family", ["mlp", "vgg"])
+def test_full_search_is_bit_exact_with_naive_evaluator(family):
+    """An entire BitWidthSearch (both phases) records identical traces."""
+    model, images, labels = build(family, seed=5)
+    cached = make_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    naive = make_weight_quant_evaluator(model, images, labels, MAX_BITS, incremental=False)
+    rng = np.random.default_rng(13)
+    scores = {
+        name: rng.random(layer.num_filters) * 4.0
+        for name, layer in cached.layers.items()
+    }
+    weights_per_filter = {
+        name: layer.weights_per_filter for name, layer in cached.layers.items()
+    }
+    config = CQConfig(target_avg_bits=1.5, max_bits=MAX_BITS, act_bits=None)
+    result_cached = BitWidthSearch(scores, weights_per_filter, cached, config).run()
+    result_naive = BitWidthSearch(scores, weights_per_filter, naive, config).run()
+
+    np.testing.assert_array_equal(result_cached.thresholds, result_naive.thresholds)
+    assert result_cached.final_accuracy == result_naive.final_accuracy
+    assert result_cached.evaluations == result_naive.evaluations
+    assert [s.accuracy for s in result_cached.steps] == [
+        s.accuracy for s in result_naive.steps
+    ]
+    assert [s.avg_bits for s in result_cached.steps] == [
+        s.avg_bits for s in result_naive.steps
+    ]
+    # The search attached the evaluator's cost counters to the result.
+    assert isinstance(result_cached.eval_stats, EvalStats)
+    assert result_cached.eval_stats.evaluations == result_cached.evaluations
+    assert result_naive.eval_stats is None
+
+
+def test_cache_layers_can_be_disabled_without_changing_results():
+    """Every cache-toggle combination returns identical accuracies."""
+    model, images, labels = build("vgg", seed=9)
+    evaluators = [
+        IncrementalEvaluator(
+            model, images, labels, MAX_BITS,
+            weight_cache=wc, prefix_cache=pc, memoize=memo,
+        )
+        for wc in (False, True)
+        for pc in (False, True)
+        for memo in (False, True)
+    ]
+    rng = np.random.default_rng(17)
+    names = list(evaluators[0].layers)
+    for _ in range(8):
+        bits = {
+            name: rng.integers(0, MAX_BITS + 1, evaluators[0].layers[name].num_filters)
+            for name in names
+        }
+        accuracies = {evaluator(bits) for evaluator in evaluators}
+        assert len(accuracies) == 1
+
+
+def test_squeeze_style_revisits_hit_the_memo():
+    """Re-evaluating a previously seen assignment does no forward work."""
+    model, images, labels = build("mlp")
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(23)
+    bits = {
+        name: rng.integers(0, MAX_BITS + 1, layer.num_filters)
+        for name, layer in cached.layers.items()
+    }
+    first = cached(bits)
+    forwards_before = cached.stats.full_forwards + cached.stats.partial_forwards
+    # Equal values in a fresh dict with fresh arrays must still hit.
+    revisit = {name: np.array(value) for name, value in bits.items()}
+    assert cached(revisit) == first
+    assert cached.stats.memo_hits == 1
+    assert cached.stats.full_forwards + cached.stats.partial_forwards == forwards_before
+
+
+def test_partial_mappings_do_not_alias_in_the_memo():
+    """The evaluator is stateful for layers omitted from the mapping
+    (like the naive closure); the memo must key on the full applied
+    state, not just the provided layers — a partial mapping revisited
+    after *other* layers changed is a different arrangement."""
+    model, images, labels = build("mlp")
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(29)
+    first, second = list(cached.layers)[:2]
+    partial = {first: rng.integers(0, MAX_BITS + 1, cached.layers[first].num_filters)}
+    assert cached(partial) == naive(partial)
+    other = {second: rng.integers(0, MAX_BITS, cached.layers[second].num_filters)}
+    assert cached(other) == naive(other)
+    # Same partial mapping, different residual state for `second`.
+    assert cached(partial) == naive(partial)
+
+
+def test_chain_detection_per_topology():
+    """MLP/VGG are chains (prefix cache active); ResNet falls back."""
+    for family, expected in [("mlp", True), ("vgg", True), ("resnet", False)]:
+        model, images, labels = build(family)
+        evaluator = IncrementalEvaluator(model, images, labels, MAX_BITS)
+        assert evaluator._chain_ok is expected, family
+
+
+def test_partial_forwards_skip_unchanged_prefix():
+    """Changing only the last layer's bits resumes deep in the chain."""
+    model, images, labels = build("vgg")
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    names = list(cached.layers)
+    base = {
+        name: np.full(cached.layers[name].num_filters, MAX_BITS, dtype=np.int64)
+        for name in names
+    }
+    assert cached(base) == naive(base)
+    assert cached.stats.full_forwards == 1
+    last = names[-1]
+    for bits_value in (3, 2, 1):
+        trial = dict(base)
+        trial[last] = np.full(cached.layers[last].num_filters, bits_value, dtype=np.int64)
+        assert cached(trial) == naive(trial)
+    assert cached.stats.partial_forwards == 3
+    # Each partial forward skipped every quantized layer before the last.
+    assert cached.stats.prefix_layers_skipped == 3 * (len(names) - 1)
+    # Only the changed layer was ever re-quantized after the first pass,
+    # and incrementally (patched, not from scratch).
+    assert cached.stats.layers_quantized == len(names)
+    assert cached.stats.layers_patched == 3
+    expected_filters = cached.stats.num_filters + 3 * cached.layers[last].num_filters
+    assert cached.stats.filters_quantized == expected_filters
+
+
+def test_weight_cache_reuses_quantizations_across_revisits():
+    model, images, labels = build("mlp")
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS, memoize=False)
+    names = list(cached.layers)
+    variants = []
+    for value in (4, 3, 2):
+        variants.append({
+            name: np.full(cached.layers[name].num_filters, value, dtype=np.int64)
+            for name in names
+        })
+    for bits in variants + variants:  # second pass revisits all three
+        cached(bits)
+    # Memoization is off, so revisits re-run forwards — but every weight
+    # quantization in the second pass comes from the cache.
+    assert cached.stats.evaluations == 6
+    assert cached.stats.filters_quantized == 3 * cached.stats.num_filters
+    assert cached.stats.quantization_reduction >= 2.0

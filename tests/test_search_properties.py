@@ -91,6 +91,71 @@ class TestSearchInvariants:
 
     @given(
         scores=score_arrays,
+        budget=st.floats(0.0, 4.0),
+        seed=st.integers(0, 100),
+        t1_relative=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_step_thresholds_non_decreasing(self, scores, budget, seed, t1_relative):
+        """A threshold only ever moves up: per ``k``, the recorded step
+        positions are non-decreasing across the whole run (Phase 1 raises
+        each ``p_k`` in turn; Phase 2 continues raising, never lowers)."""
+        rng = np.random.default_rng(seed)
+        config = CQConfig(
+            target_avg_bits=budget, max_bits=4, t1=0.5, t1_relative=t1_relative
+        )
+        result = BitWidthSearch(
+            {"layer": scores}, {"layer": 7}, lambda bits: float(rng.random()), config
+        ).run()
+        last_position = {}
+        for step in result.steps:
+            assert step.threshold >= last_position.get(step.k, 0.0) - 1e-12
+            last_position[step.k] = step.threshold
+
+    @given(
+        scores=score_arrays,
+        budget=st.floats(0.0, 4.0),
+        seed=st.integers(0, 100),
+        t1_relative=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_evaluations_match_recorded_steps(self, scores, budget, seed, t1_relative):
+        """Every evaluation is accounted for: one per recorded step, plus
+        the ``t1_relative`` baseline evaluation, plus one final fill-in
+        when the search ended without ever evaluating (budget already met
+        at the start and no baseline was taken)."""
+        rng = np.random.default_rng(seed)
+        config = CQConfig(
+            target_avg_bits=budget, max_bits=4, t1=0.5, t1_relative=t1_relative
+        )
+        result = BitWidthSearch(
+            {"layer": scores}, {"layer": 7}, lambda bits: float(rng.random()), config
+        ).run()
+        expected = len(result.steps)
+        if t1_relative:
+            expected += 1
+        elif not result.steps:
+            expected += 1  # final evaluation of the untouched thresholds
+        assert result.evaluations == expected
+
+    @given(
+        scores=score_arrays,
+        budget=st.floats(0.5, 3.5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_met_unless_squeeze_saturated(self, scores, budget, seed):
+        """Whenever Phase 2 ran to completion (``p_1`` did not saturate at
+        the top of the score axis), the final average bit-width meets the
+        budget — for arbitrary evaluator behaviour."""
+        rng = np.random.default_rng(seed)
+        result = run_search(scores, budget, lambda bits: float(rng.random()))
+        max_score = float(np.max(scores))
+        if result.thresholds[0] < max_score:
+            assert result.average_bits <= budget + 1e-9
+
+    @given(
+        scores=score_arrays,
         budget=st.floats(0.5, 3.5),
     )
     @settings(max_examples=30, deadline=None)
