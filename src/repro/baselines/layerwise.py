@@ -84,7 +84,10 @@ class LayerwiseSearchResult:
     search_accuracy: float  #: validation accuracy of the final assignment
     eval_stats: Optional[EvalStats] = None
     """Evaluator cache counters — greedy/anneal probes revisit many
-    assignments, so the whole-assignment memo absorbs most of them."""
+    assignments, so the whole-assignment memo absorbs most of them, and
+    each probe demotes a single layer, so segment-granular prefix
+    resumption skips every segment before that layer's block (ResNet
+    included; see ``docs/architecture.md``)."""
 
     @property
     def average_bits(self) -> float:

@@ -18,13 +18,20 @@ closure with three stacked caches, each bit-exact with the naive path:
    each filter row is an independent function of its own bit-width and
    only rows whose bits changed are recomputed, patched into a copy of
    the previous quantized array.
-2. **Forward-prefix activation cache** — for chain-structured models
-   (MLP, VGG: each traced leaf module feeds exactly the next one), the
-   input activation of every quantized layer is recorded during each
-   forward. The next evaluation resumes from the first layer whose bits
-   changed, skipping the entire unchanged prefix. Models whose traced
-   graph is not a chain (e.g. ResNet residuals) silently fall back to
-   full forwards — the other two caches still apply.
+2. **Segment-granular forward-prefix activation cache** — the model is
+   traced as an execution-ordered sequence of *segments*, each either a
+   single leaf layer or an opaque residual block (models declare block
+   boundaries via ``segment_modules()``; see
+   :meth:`repro.models.resnet.ResNet20.segment_modules`). Every
+   segment's input activation is recorded during each forward. When a
+   move changes bits only in layers inside segment *k* or later, the
+   next evaluation resumes from segment *k*'s cached input — the block
+   runs internally in full (residual branch included), but the entire
+   unchanged prefix is skipped. Chain models (MLP, VGG) are the
+   degenerate case where every segment is a leaf; models without the
+   protocol fall back to a leaf-granular trace, and models whose traced
+   segment sequence is not a chain silently fall back to full forwards
+   — the other two caches still apply.
 3. **Whole-assignment memoization** — accuracies are memoised by the
    full bit-assignment signature, so Phase-2 squeeze revisits and the
    repeated probes of greedy per-layer searches are free.
@@ -61,11 +68,21 @@ from repro.utils.misc import clone_module
 class EvalStats:
     """Cost counters for a search-evaluation engine.
 
-    Quantization work is measured in *filter re-quantizations* (one
-    filter row pushed through eqs. 1-3): the naive protocol performs
-    ``evaluations * num_filters`` of them — every filter of every layer
-    on every query — which is the baseline ``quantization_reduction``
-    is measured against.
+    Two units of work are tracked against their naive baselines:
+
+    * *filter re-quantizations* (one filter row pushed through
+      eqs. 1-3) — the naive protocol performs
+      ``evaluations * num_filters`` of them (every filter of every
+      layer on every query), the baseline of
+      :attr:`quantization_reduction`;
+    * *quantized-layer executions* (one quantized layer run in one
+      forward) — the naive protocol performs
+      ``evaluations * num_layers`` of them (a full forward per query),
+      the baseline of :attr:`layer_execution_reduction`. Memoized
+      queries and prefix-skipped segments both reduce this count.
+
+    Counters accumulate across queries; :meth:`snapshot` produces the
+    immutable copy attached to search results.
     """
 
     num_layers: int = 0
@@ -74,6 +91,10 @@ class EvalStats:
     num_filters: int = 0
     """Total filters across all quantized layers."""
 
+    num_segments: int = 0
+    """Segments of the traced forward (0 when tracing failed or the
+    prefix cache is disabled)."""
+
     evaluations: int = 0
     """Total accuracy queries (including memoized ones)."""
 
@@ -81,11 +102,18 @@ class EvalStats:
     """Queries answered from the whole-assignment memo (no forward)."""
 
     full_forwards: int = 0
+    """Forwards that ran every segment from the model input."""
+
     partial_forwards: int = 0
-    """Forwards resumed from a cached prefix activation."""
+    """Forwards resumed from a cached segment-boundary activation."""
 
     layer_requests: int = 0
-    """Quantized-weight lookups during forwards (one per executed layer)."""
+    """Quantized-weight cache lookups (one per executed layer while the
+    weight cache is installed; 0 when it is disabled)."""
+
+    layers_executed: int = 0
+    """Quantized-layer executions across all forwards, full or partial
+    (counted by the forward driver, independent of any cache toggle)."""
 
     layers_quantized: int = 0
     """Weight-cache misses re-quantizing a layer from scratch."""
@@ -98,6 +126,9 @@ class EvalStats:
 
     prefix_layers_skipped: int = 0
     """Quantized-layer executions avoided entirely by prefix resumption."""
+
+    segments_skipped: int = 0
+    """Segment executions avoided entirely by prefix resumption."""
 
     eval_seconds: float = 0.0
     """Wall time spent inside the evaluator."""
@@ -116,6 +147,24 @@ class EvalStats:
         return self.naive_filter_quantizations / self.filters_quantized
 
     @property
+    def naive_layer_executions(self) -> int:
+        """Quantized-layer executions the naive protocol needs for the
+        same query sequence (every layer, every query)."""
+        return self.evaluations * self.num_layers
+
+    @property
+    def layer_execution_reduction(self) -> float:
+        """Naive-over-cached forward-work ratio (>= 1 means savings).
+
+        Cached work is :attr:`layers_executed`, so memo hits (no
+        forward at all) and prefix-skipped segments both count as
+        savings.
+        """
+        if self.layers_executed == 0:
+            return float("inf") if self.evaluations else 1.0
+        return self.naive_layer_executions / self.layers_executed
+
+    @property
     def weight_cache_hit_rate(self) -> float:
         """Fraction of per-layer weight lookups needing no quantization."""
         if self.layer_requests == 0:
@@ -128,6 +177,7 @@ class EvalStats:
         return replace(self)
 
     def summary(self) -> str:
+        """One-line human-readable digest of every counter family."""
         return (
             f"evals={self.evaluations} (memo {self.memo_hits}, "
             f"full {self.full_forwards}, partial {self.partial_forwards}) "
@@ -135,6 +185,9 @@ class EvalStats:
             f"{self.naive_filter_quantizations} "
             f"(x{self.quantization_reduction:.1f} saved, "
             f"layer hit-rate {self.weight_cache_hit_rate:.0%}) "
+            f"layer-execs={self.layers_executed}/{self.naive_layer_executions} "
+            f"(x{self.layer_execution_reduction:.1f} saved, "
+            f"{self.segments_skipped} segments skipped) "
             f"wall={self.eval_seconds:.2f}s"
         )
 
@@ -146,11 +199,14 @@ def _bits_signature(bits: np.ndarray) -> bytes:
 
 
 class _TraceEntry:
-    """One leaf-module execution recorded while tracing the surrogate.
+    """One segment execution recorded while tracing the surrogate.
 
-    The input/output tensors themselves are kept alive for the duration
-    of the chain check so CPython cannot recycle their addresses —
-    identity comparisons between entries stay meaningful.
+    A segment is either a single leaf module or an opaque composite
+    block (e.g. a residual ``BasicBlock``) declared by the model's
+    ``segment_modules()`` protocol. The input/output tensors themselves
+    are kept alive for the duration of the chain check so CPython
+    cannot recycle their addresses — identity comparisons between
+    entries stay meaningful.
     """
 
     __slots__ = ("name", "module", "input", "output")
@@ -162,23 +218,50 @@ class _TraceEntry:
         self.output = output
 
 
-def _trace_leaf_chain(
-    model: Module, sample: np.ndarray
-) -> Tuple[List[_TraceEntry], Optional[Tensor]]:
-    """Execution-ordered leaf modules of one forward, plus the output.
+def _declared_segments(model: Module) -> Optional[List[Tuple[str, Module]]]:
+    """The model's ``segment_modules()`` declaration, if it has one.
 
-    Each leaf module's ``forward`` is temporarily wrapped to record
-    ``(module, input, output)``. Wrapping only supports leaves called
-    with a single positional tensor; anything else aborts the trace
-    (returns an empty list), which disables prefix caching.
+    Only membership matters — the execution order and the chain
+    property are re-derived (and validated) by tracing a forward, so a
+    model cannot corrupt the cache by mis-ordering its declaration.
+    """
+    getter = getattr(model, "segment_modules", None)
+    if getter is None:
+        return None
+    try:
+        segments = getter()
+    except Exception:  # pragma: no cover - defensive
+        return None
+    return list(segments.items())
+
+
+def _leaf_modules(model: Module) -> List[Tuple[str, Module]]:
+    """All leaf modules — the fallback segmentation for models without
+    a ``segment_modules()`` declaration (pure chains still trace)."""
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if not module._modules and name
+    ]
+
+
+def _trace_segments(
+    model: Module, sample: np.ndarray, targets: List[Tuple[str, Module]]
+) -> Tuple[List[_TraceEntry], Optional[Tensor]]:
+    """Execution-ordered trace of ``targets`` over one forward.
+
+    Each target module's ``forward`` is temporarily wrapped to record
+    ``(module, input, output)``; modules *inside* a composite target run
+    unobserved, so a residual block contributes exactly one entry.
+    Wrapping only supports modules called with a single positional
+    tensor; anything else aborts the trace (returns an empty list),
+    which disables prefix caching.
     """
     trace: List[_TraceEntry] = []
     aborted = [False]
     wrapped: List[Module] = []
     try:
-        for name, module in model.named_modules():
-            if module._modules or not name:
-                continue
+        for name, module in targets:
             original = module.forward
 
             def tracer(*args, _name=name, _module=module, _orig=original, **kwargs):
@@ -210,6 +293,26 @@ class IncrementalEvaluator:
     Callable with a ``{layer name -> per-filter bits}`` mapping and
     returns validation accuracy, exactly like the closure produced by
     :func:`make_naive_weight_quant_evaluator` — but incrementally.
+
+    Guarantees
+    ----------
+    * **Bit-exact**: for any query sequence, every returned accuracy is
+      identical (``==``, not approximately) to what the naive
+      re-quantize-everything protocol returns — enforced by
+      ``tests/test_search_eval_cache.py`` and required of any change to
+      this class.
+    * **Stateful like the naive closure**: layers omitted from a query
+      mapping keep their previously applied bit vectors; the memo keys
+      on the full applied state so partial mappings never alias.
+    * **Private surrogate**: the caller's model is cloned once and
+      never mutated; the surrogate only runs in ``eval()`` mode under
+      ``no_grad`` on a fixed validation batch, which is what makes all
+      three caches sound (every traced module is a deterministic
+      function of weights, bits and input).
+
+    Cost counters accumulate in :attr:`stats` (an :class:`EvalStats`);
+    :class:`~repro.core.search.BitWidthSearch` snapshots them into
+    :attr:`~repro.core.search.SearchResult.eval_stats`.
 
     Parameters
     ----------
@@ -252,69 +355,86 @@ class IncrementalEvaluator:
         surrogate.eval()
         self.surrogate = surrogate
         self.layers = quantized_layers(surrogate)
-        self.stats = self._fresh_stats()
 
         self._input_tensor = Tensor(self.val_images)
+        # `_applied` mirrors the surrogate's actual bit buffers;
+        # `_effective` is the logical state after the last query (they
+        # diverge only while memo hits answer queries without applying).
         self._applied: Dict[str, bytes] = {
             name: _bits_signature(layer.bits) for name, layer in self.layers.items()
         }
+        self._effective: Dict[str, bytes] = dict(self._applied)
         self._memo: "OrderedDict[Tuple[Tuple[str, bytes], ...], float]" = OrderedDict()
         self._memo_capacity = 4096
         self._weight_caches: Dict[str, "OrderedDict[bytes, Tensor]"] = {
             name: OrderedDict() for name in self.layers
         }
-        # Prefix-cache state: execution-ordered leaf chain + per-layer
+        # Prefix-cache state: execution-ordered segment trace, the
+        # segment index owning each quantized layer, and per-segment
         # cached input activations (valid for the currently applied
         # prefix bits; invalidated on any upstream change).
-        self._chain: List[_TraceEntry] = []
-        self._chain_pos: Dict[str, int] = {}
+        self._segments: List[_TraceEntry] = []
+        self._segment_of: Dict[str, int] = {}
         self._acts: Dict[str, np.ndarray] = {}
-        self._chain_ok = False
+        self._trace_ok = False
         if prefix_cache:
-            self._build_chain()
+            self._build_segments()
+        self.stats = self._fresh_stats()
         if weight_cache:
             for name, layer in self.layers.items():
                 self._install_weight_cache(name, layer)
-        for name, layer in self.layers.items():
-            self._install_activation_capture(name, layer)
+        for entry in self._segments:
+            self._install_activation_capture(entry.name, entry.module)
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_chain(self) -> None:
-        """Trace one forward and accept the prefix cache only for chains.
+    def _build_segments(self) -> None:
+        """Trace one forward and accept the prefix cache only for
+        segment-granular chains.
 
-        The suffix from the first quantized layer onward must be a pure
-        chain — every leaf consumes exactly the previous leaf's output
-        and the last leaf produces the model output — and no leaf may
-        run twice (weight sharing would alias cached activations).
-        Models that fail the check (residual topologies, functional
-        reshapes between quantized layers) keep ``_chain_ok = False``
-        and always take the full-forward path.
+        Segments come from the model's ``segment_modules()`` protocol
+        when present (opaque residual blocks allowed) and fall back to
+        all leaf modules otherwise. The suffix from the segment owning
+        the first quantized layer onward must be a pure chain — every
+        segment consumes exactly the previous segment's output and the
+        last segment produces the model output — no segment may run
+        twice (weight sharing would alias cached activations), and
+        every quantized layer must live inside exactly one traced
+        segment. Models that fail the check (undeclared residual
+        topologies, functional reshapes between quantized layers) keep
+        ``_trace_ok = False`` and always take the full-forward path.
         """
-        trace, output = _trace_leaf_chain(self.surrogate, self.val_images[:1])
+        targets = _declared_segments(self.surrogate)
+        if targets is None:
+            targets = _leaf_modules(self.surrogate)
+        trace, output = _trace_segments(self.surrogate, self.val_images[:1], targets)
         if not trace or output is not trace[-1].output:
             return
         modules = [entry.module for entry in trace]
         if len(set(map(id, modules))) != len(modules):
             return
         quantized_ids = {id(layer): name for name, layer in self.layers.items()}
-        positions = {
-            quantized_ids[id(entry.module)]: index
-            for index, entry in enumerate(trace)
-            if id(entry.module) in quantized_ids
-        }
+        positions: Dict[str, int] = {}
+        for index, entry in enumerate(trace):
+            for member in entry.module.modules():
+                name = quantized_ids.get(id(member))
+                if name is None:
+                    continue
+                if name in positions:  # shared across segments: unsafe
+                    return
+                positions[name] = index
         if len(positions) != len(self.layers):
             return
         first = min(positions.values())
         for index in range(first + 1, len(trace)):
             if trace[index].input is not trace[index - 1].output:
                 return
-        for entry in trace:  # the chain is validated; free the traced tensors
+        for entry in trace:  # the trace is validated; free the tensors
             entry.input = entry.output = None
-        self._chain = trace
-        self._chain_pos = positions
-        self._chain_ok = True
+        self._segments = trace
+        self._segment_of = positions
+        self._trace_ok = True
 
     def _install_weight_cache(self, name: str, layer: Module) -> None:
         """Shadow ``layer.effective_weight`` with an incremental cache.
@@ -369,16 +489,17 @@ class IncrementalEvaluator:
 
         layer.effective_weight = cached_effective_weight
 
-    def _install_activation_capture(self, name: str, layer: Module) -> None:
-        """Record each quantized layer's input during every forward."""
-        original = layer.forward
+    def _install_activation_capture(self, name: str, segment: Module) -> None:
+        """Record each segment's input during every forward (full or
+        partial), keeping downstream resume points fresh."""
+        original = segment.forward
 
         def capturing_forward(x, _name=name, _orig=original):
-            if self._chain_ok:
+            if self._trace_ok:
                 self._acts[_name] = x.data
             return _orig(x)
 
-        layer.forward = capturing_forward
+        segment.forward = capturing_forward
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -392,12 +513,16 @@ class IncrementalEvaluator:
             }
             # The memo must key on the state the surrogate would be in
             # after applying this mapping — layers omitted from `bits`
-            # keep their previously applied vectors (the evaluator is
+            # keep the vectors of the last *query* (the evaluator is
             # stateful for them, exactly like the naive closure), so
-            # their signatures are part of the key too.
-            effective = dict(self._applied)
+            # their signatures are part of the key too. `_effective` is
+            # that logical query state; it can run ahead of `_applied`
+            # (the surrogate's actual buffers) when memo hits answer
+            # queries without touching the surrogate.
+            effective = dict(self._effective)
             effective.update(signatures)
             memo_key = tuple(sorted(effective.items()))
+            self._effective = effective
             if self.memoize:
                 cached = self._memo.get(memo_key)
                 if cached is not None:
@@ -405,14 +530,24 @@ class IncrementalEvaluator:
                     self.stats.memo_hits += 1
                     return cached
 
+            # Reconcile the surrogate with the full logical state — a
+            # layer may differ because this query provided new bits OR
+            # because an earlier memo-hit query moved it logically
+            # without a forward (its vector is recovered from the
+            # signature bytes).
             changed = [
                 name
-                for name, signature in signatures.items()
+                for name, signature in effective.items()
                 if self._applied.get(name) != signature
             ]
             for name in changed:
-                self.layers[name].set_bits(bits[name])
-                self._applied[name] = signatures[name]
+                layer_bits = (
+                    bits[name]
+                    if name in signatures
+                    else np.frombuffer(effective[name], dtype=np.int64)
+                )
+                self.layers[name].set_bits(layer_bits)
+                self._applied[name] = effective[name]
 
             accuracy = self._forward_accuracy(changed)
             if self.memoize:
@@ -428,38 +563,43 @@ class IncrementalEvaluator:
         with no_grad():
             if resume is None:
                 self.stats.full_forwards += 1
+                self.stats.layers_executed += self.stats.num_layers
                 logits = self.surrogate(self._input_tensor)
             else:
-                self.stats.partial_forwards += 1
-                self.stats.prefix_layers_skipped += sum(
-                    1 for pos in self._chain_pos.values() if pos < resume
+                skipped = sum(
+                    1 for pos in self._segment_of.values() if pos < resume
                 )
-                x = Tensor(self._acts[self._chain[resume].name])
-                for entry in self._chain[resume:]:
+                self.stats.partial_forwards += 1
+                self.stats.segments_skipped += resume
+                self.stats.prefix_layers_skipped += skipped
+                self.stats.layers_executed += self.stats.num_layers - skipped
+                x = Tensor(self._acts[self._segments[resume].name])
+                for entry in self._segments[resume:]:
                     x = entry.module(x)
                 logits = x
         return F.accuracy(logits, self.val_labels)
 
     def _resume_position(self, changed: List[str]) -> Optional[int]:
-        """Chain index to resume from, or ``None`` for a full forward.
+        """Segment index to resume from, or ``None`` for a full forward.
 
-        Valid only when every changed layer sits on the traced chain,
-        a cached input exists for the earliest changed layer, and cached
-        activations downstream of the change are invalidated first.
+        Valid only when every changed layer lives inside a traced
+        segment, a cached input exists for the earliest changed
+        segment, and cached activations downstream of the change are
+        invalidated first. An opaque segment (residual block) re-runs
+        internally in full; everything before it is skipped.
         """
-        if not self._chain_ok or not self.prefix_cache:
+        if not self._trace_ok or not self.prefix_cache:
             return None
         if not changed:
             return None  # nothing moved (memo off): recompute from scratch
-        if any(name not in self._chain_pos for name in changed):
+        if any(name not in self._segment_of for name in changed):
             return None
-        resume = min(self._chain_pos[name] for name in changed)
+        resume = min(self._segment_of[name] for name in changed)
         # Inputs recorded downstream of the change no longer match the
         # new prefix; drop them whether or not resumption is possible.
-        for name, position in self._chain_pos.items():
-            if position > resume:
-                self._acts.pop(name, None)
-        if self._chain[resume].name not in self._acts:
+        for entry in self._segments[resume + 1 :]:
+            self._acts.pop(entry.name, None)
+        if self._segments[resume].name not in self._acts:
             return None
         return resume
 
@@ -468,6 +608,7 @@ class IncrementalEvaluator:
         return EvalStats(
             num_layers=len(self.layers),
             num_filters=sum(layer.num_filters for layer in self.layers.values()),
+            num_segments=len(self._segments),
         )
 
     def reset_stats(self) -> EvalStats:

@@ -25,14 +25,16 @@ Evaluation engine
 Accuracy queries go through the incremental engine in
 :mod:`repro.core.evaluator` (:func:`make_weight_quant_evaluator` returns
 an :class:`~repro.core.evaluator.IncrementalEvaluator`): per-layer
-quantized weights are cached by bit-vector hash, chain-structured models
-resume forwards from the first changed layer's cached input activation,
-and whole assignments are memoized so Phase-2 squeeze revisits are free.
+quantized weights are cached by bit-vector hash, forwards resume from
+the first changed *segment*'s cached boundary activation (segments are
+leaf layers or opaque residual blocks declared via the models'
+``segment_modules()`` protocol, so ResNet gets prefix savings too), and
+whole assignments are memoized so Phase-2 squeeze revisits are free.
 The cached path is bit-exact with the naive re-quantize-everything
 protocol (enforced by ``tests/test_search_eval_cache.py``); its cost
 counters are snapshotted into :attr:`SearchResult.eval_stats` and each
 step carries its evaluation wall time, so Figure-3 traces also report
-search cost.
+search cost. See ``docs/architecture.md`` for the full design.
 
 Test tiers
 ----------
@@ -106,11 +108,26 @@ class SearchStep:
 
 @dataclass
 class SearchResult:
-    """Output of :class:`BitWidthSearch.run`."""
+    """Output of :class:`BitWidthSearch.run`.
+
+    Carries everything needed to reproduce the paper's Figure-3 traces
+    *and* audit search cost: the final thresholds and bit map, the full
+    step-by-step evaluation trace, and — when the evaluator is the
+    cached :class:`~repro.core.evaluator.IncrementalEvaluator` — a
+    snapshot of its :class:`~repro.core.evaluator.EvalStats` counters.
+    Results from the cached and naive evaluators are bit-identical in
+    every field except ``eval_stats``/timings (the bit-exact contract).
+    """
 
     thresholds: np.ndarray
+    """Final non-decreasing threshold vector ``p_1 .. p_N``."""
+
     bit_map: BitWidthMap
+    """Per-filter bit-widths implied by ``thresholds``."""
+
     steps: List[SearchStep] = field(repr=False, default_factory=list)
+    """Every accuracy evaluation, in order (Figure-3 trace data)."""
+
     final_accuracy: float = float("nan")
     evaluations: int = 0
     search_seconds: float = 0.0
@@ -118,7 +135,8 @@ class SearchResult:
 
     eval_stats: Optional[EvalStats] = None
     """Cumulative evaluator cost counters, when the evaluator exposes
-    them (see :class:`~repro.core.evaluator.IncrementalEvaluator`)."""
+    them (see :class:`~repro.core.evaluator.IncrementalEvaluator`);
+    ``None`` for the naive closure."""
 
     @property
     def average_bits(self) -> float:
@@ -284,7 +302,8 @@ def make_weight_quant_evaluator(
     Clones the pre-trained model once, converts it to quantized form
     with full-precision activations ("the algorithm uses inference of
     validation samples", Sec. I) and evaluates each candidate bit
-    assignment on a fixed validation batch.
+    assignment on a fixed validation batch. The caller's model is never
+    mutated.
 
     Returns an :class:`~repro.core.evaluator.IncrementalEvaluator`
     (cached, bit-exact with the naive protocol; exposes ``.stats``).

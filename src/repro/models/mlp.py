@@ -55,3 +55,16 @@ class MLP(Module):
         for index in range(1, self._num_hidden):  # fc0 and the output are skipped
             taps[f"fc{index}"] = getattr(self, f"relu{index}")
         return taps
+
+    def segment_modules(self) -> "OrderedDict[str, Module]":
+        """Segment name -> module (see :meth:`ResNet20.segment_modules`).
+
+        An MLP is a pure chain, so every leaf layer is its own segment —
+        the degenerate case of the block-boundary protocol.
+        """
+        segments: "OrderedDict[str, Module]" = OrderedDict()
+        for index in range(self._num_hidden):
+            segments[f"fc{index}"] = getattr(self, f"fc{index}")
+            segments[f"relu{index}"] = getattr(self, f"relu{index}")
+        segments[f"fc{self._num_hidden}"] = getattr(self, f"fc{self._num_hidden}")
+        return segments

@@ -120,3 +120,24 @@ class ResNet20(Module):
             if not isinstance(block.downsample, Identity):
                 taps[f"blocks.{index}.downsample.0"] = block.downsample[0]
         return taps
+
+    def segment_modules(self) -> "OrderedDict[str, Module]":
+        """Segment name -> module, the block-boundary protocol.
+
+        Each segment is an opaque single-input/single-output unit that
+        consumes exactly the previous segment's output: the stem layers
+        are leaf segments and every :class:`BasicBlock` is one segment
+        (its residual branch stays internal, so the sequence of segments
+        is a pure chain even though the block's interior is not). The
+        incremental evaluator caches activations at these boundaries and
+        resumes forwards from the first segment whose bits changed; only
+        membership matters — execution order is re-derived by tracing.
+        """
+        segments: "OrderedDict[str, Module]" = OrderedDict(
+            [("conv0", self.conv0), ("bn0", self.bn0), ("relu0", self.relu0)]
+        )
+        for index, block in enumerate(self.blocks):
+            segments[f"blocks.{index}"] = block
+        segments["avgpool"] = self.avgpool
+        segments["fc"] = self.fc
+        return segments

@@ -122,3 +122,20 @@ class VGGSmall(Module):
         taps = OrderedDict([("conv0", self.relu0)])
         taps.update(self.tap_modules())
         return taps
+
+    def segment_modules(self) -> "OrderedDict[str, Module]":
+        """Segment name -> module (see :meth:`ResNet20.segment_modules`).
+
+        VGG-small is a pure chain, so every leaf layer is its own
+        segment — the degenerate case of the block-boundary protocol.
+        """
+        names = [
+            "conv0", "bn0", "relu0",
+            "conv1", "bn1", "relu1", "pool1",
+            "conv2", "bn2", "relu2", "pool2",
+            "conv3", "bn3", "relu3",
+            "conv4", "bn4", "relu4", "pool4",
+            "flatten",
+            "fc5", "relu5", "fc6", "relu6", "fc7", "relu7", "fc8",
+        ]
+        return OrderedDict((name, getattr(self, name)) for name in names)

@@ -48,6 +48,15 @@ class History:
 def evaluate_model(model: Module, loader, accuracy_only: bool = False) -> EpochMetrics:
     """Loss/accuracy of ``model`` over a loader, in eval mode, no gradients.
 
+    Guarantees: the model is switched to ``eval()`` for the duration
+    (batch-norm uses running statistics, dropout is disabled) and its
+    previous training flag is restored afterwards; weights, buffers and
+    gradients are never modified, so evaluation is deterministic for a
+    fixed loader. This is the *whole-model* metric used for reporting;
+    search-time accuracy queries instead go through the cached
+    :class:`repro.core.evaluator.IncrementalEvaluator`, which is
+    bit-exact with a full forward on its fixed validation batch.
+
     ``accuracy_only=True`` skips the cross-entropy computation (the
     returned ``loss`` is NaN) — the fast path for search and baseline
     callers that only consume ``.accuracy``.

@@ -1,0 +1,88 @@
+"""Documentation health: links resolve, docs cross-link, CLI answers.
+
+The CI docs job runs exactly this module (plus ``python -m repro
+--help``); it is also part of tier-1 so broken links fail locally
+before they reach CI.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+# Inline markdown links: [text](target). None of our targets contain
+# parentheses or whitespace, which the pattern rejects to stay strict.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _links(path: Path):
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        yield target
+
+
+def test_doc_files_exist():
+    names = [path.name for path in DOC_FILES]
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "experiments.md" in names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda path: path.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:  # pure in-page anchor
+            continue
+        resolved = (doc.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+        # Links must stay inside the repository.
+        elif REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            broken.append(f"{target} (escapes the repo)")
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def test_docs_cross_link_architecture_and_experiments():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    assert "docs/experiments.md" in readme
+    architecture = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "ROADMAP.md" in architecture and "experiments.md" in architecture
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in roadmap
+
+
+def test_readme_documents_tier1_verify_command():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in readme
+
+
+def test_cli_help_smoke():
+    """``python -m repro --help`` exits 0 and lists the subcommands the
+    README and docs/experiments.md advertise."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    for command in ("quantize", "figure", "cost", "models", "datasets"):
+        assert command in result.stdout

@@ -5,8 +5,10 @@ must return *exactly* the accuracy the naive re-quantize-everything
 closure returns, for any sequence of bit assignments — including the
 revisits Phase 2 of the threshold search produces. These tests drive
 both evaluators through randomized seeded trajectories on all three
-model families (chain MLP/VGG and the residual ResNet fallback) and
-compare with ``==``, not ``pytest.approx``.
+model families (chain MLP/VGG and the residual ResNet, whose
+``segment_modules()`` block-boundary protocol makes prefix resumption
+work across residual blocks) and compare with ``==``, not
+``pytest.approx``.
 """
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.core.search import BitWidthSearch, assign_bits, make_weight_quant_eva
 from repro.models.mlp import MLP
 from repro.models.resnet import ResNet20
 from repro.models.vgg import VGGSmall
+from repro.nn import Module
 
 MAX_BITS = 4
 
@@ -98,7 +101,7 @@ def test_cached_matches_naive_on_random_assignments(family):
         assert cached(bits) == naive(bits)
 
 
-@pytest.mark.parametrize("family", ["mlp", "vgg"])
+@pytest.mark.parametrize("family", ["mlp", "vgg", "resnet"])
 def test_full_search_is_bit_exact_with_naive_evaluator(family):
     """An entire BitWidthSearch (both phases) records identical traces."""
     model, images, labels = build(family, seed=5)
@@ -190,12 +193,69 @@ def test_partial_mappings_do_not_alias_in_the_memo():
     assert cached(partial) == naive(partial)
 
 
-def test_chain_detection_per_topology():
-    """MLP/VGG are chains (prefix cache active); ResNet falls back."""
-    for family, expected in [("mlp", True), ("vgg", True), ("resnet", False)]:
+def test_memo_hits_keep_statefulness_for_later_partial_mappings():
+    """A memo hit answers without touching the surrogate, but it still
+    moves the *logical* state a later partial mapping builds on — the
+    next miss must reconcile the surrogate before its forward."""
+    model, images, labels = build("mlp", seed=3)
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(43)
+    L, M = list(cached.layers)[:2]
+    x = rng.integers(0, MAX_BITS + 1, cached.layers[L].num_filters)
+    y = rng.integers(0, MAX_BITS + 1, cached.layers[L].num_filters)
+    a = rng.integers(0, MAX_BITS + 1, cached.layers[M].num_filters)
+    b = rng.integers(0, MAX_BITS + 1, cached.layers[M].num_filters)
+    for query in ({L: x, M: a}, {L: y}, {L: x}, {M: b}):
+        assert cached(query) == naive(query)
+    assert cached.stats.memo_hits == 1  # {L: x} after {L: x, M: a}
+
+
+def test_segment_trace_per_topology():
+    """All three families trace: MLP/VGG as leaf chains, ResNet as a
+    block-granular segment chain (one segment per BasicBlock)."""
+    for family in ("mlp", "vgg", "resnet"):
         model, images, labels = build(family)
         evaluator = IncrementalEvaluator(model, images, labels, MAX_BITS)
-        assert evaluator._chain_ok is expected, family
+        assert evaluator._trace_ok, family
+        assert evaluator.stats.num_segments == len(evaluator._segments) > 0
+    # ResNet: stem (conv0/bn0/relu0) + 9 blocks + avgpool + fc.
+    assert evaluator.stats.num_segments == 14
+    block_segments = {
+        pos for name, pos in evaluator._segment_of.items() if name.startswith("blocks.")
+    }
+    assert len(block_segments) == 9  # each block's layers share one segment
+
+
+class _OpaqueResNet(Module):
+    """A residual model *without* the segment protocol: the leaf-level
+    fallback trace must reject it and the evaluator must fall back to
+    full forwards (while staying bit-exact)."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+def test_undeclared_residual_topology_falls_back_to_full_forwards():
+    model, images, labels = build("resnet")
+    evaluator = IncrementalEvaluator(_OpaqueResNet(model), images, labels, MAX_BITS)
+    assert not evaluator._trace_ok
+    naive = make_naive_weight_quant_evaluator(
+        _OpaqueResNet(model), images, labels, MAX_BITS
+    )
+    rng = np.random.default_rng(31)
+    for _ in range(4):
+        bits = {
+            name: rng.integers(0, MAX_BITS + 1, layer.num_filters)
+            for name, layer in evaluator.layers.items()
+        }
+        assert evaluator(bits) == naive(bits)
+    assert evaluator.stats.partial_forwards == 0
+    assert evaluator.stats.full_forwards == 4
 
 
 def test_partial_forwards_skip_unchanged_prefix():
@@ -224,6 +284,82 @@ def test_partial_forwards_skip_unchanged_prefix():
     assert cached.stats.layers_patched == 3
     expected_filters = cached.stats.num_filters + 3 * cached.layers[last].num_filters
     assert cached.stats.filters_quantized == expected_filters
+
+
+def test_resnet_partial_forwards_resume_at_block_boundaries():
+    """Changing bits only inside the last block resumes past every
+    earlier block, skipping all quantized layers before it."""
+    model, images, labels = build("resnet")
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    names = list(cached.layers)
+    base = {
+        name: np.full(cached.layers[name].num_filters, MAX_BITS, dtype=np.int64)
+        for name in names
+    }
+    assert cached(base) == naive(base)
+    assert cached.stats.full_forwards == 1
+    last_block = max(
+        int(name.split(".")[1]) for name in names if name.startswith("blocks.")
+    )
+    in_last = [name for name in names if name.startswith(f"blocks.{last_block}.")]
+    for bits_value in (3, 2, 1):
+        trial = dict(base)
+        for name in in_last:
+            trial[name] = np.full(
+                cached.layers[name].num_filters, bits_value, dtype=np.int64
+            )
+        assert cached(trial) == naive(trial)
+    assert cached.stats.partial_forwards == 3
+    # Every quantized layer outside the last block sat in a skipped segment.
+    assert cached.stats.prefix_layers_skipped == 3 * (len(names) - len(in_last))
+    # Stem (3 segments) + the 8 earlier blocks were skipped each time.
+    assert cached.stats.segments_skipped == 3 * (3 + last_block)
+
+
+@pytest.mark.parametrize("family", ["mlp", "vgg", "resnet"])
+def test_eval_stats_accounting_identities(family):
+    """Counter bookkeeping holds exactly on random trajectories:
+
+    * every query is a memo hit, a full forward or a partial forward;
+    * with the weight cache on, each executed quantized layer makes one
+      weight request, so requests + prefix-skipped layers account for
+      every forward's layers;
+    * segment skips only come from partial forwards and never exceed
+      the prefix length.
+    """
+    model, images, labels = build(family, seed=21)
+    cached = IncrementalEvaluator(model, images, labels, MAX_BITS)
+    naive = make_naive_weight_quant_evaluator(model, images, labels, MAX_BITS)
+    rng = np.random.default_rng(37)
+    scores = {
+        name: rng.random(layer.num_filters) * 4.0
+        for name, layer in cached.layers.items()
+    }
+    history = []
+    for thresholds in random_threshold_trajectory(np.random.default_rng(41), length=10):
+        bits = assign_bits(scores, thresholds)
+        history.append(bits)
+        assert cached(bits) == naive(bits)
+        if history and rng.random() < 0.25:
+            revisit = history[int(rng.integers(0, len(history)))]
+            assert cached(revisit) == naive(revisit)
+
+    stats = cached.stats
+    forwards = stats.full_forwards + stats.partial_forwards
+    assert stats.evaluations == stats.memo_hits + forwards
+    assert stats.layers_executed + stats.prefix_layers_skipped == (
+        forwards * stats.num_layers
+    )
+    # With the weight cache on, every executed layer makes exactly one
+    # weight lookup — the two counters cross-check each other.
+    assert stats.layer_requests == stats.layers_executed
+    assert stats.num_segments > 0 and stats.partial_forwards > 0
+    assert 0 < stats.segments_skipped <= stats.partial_forwards * (
+        stats.num_segments - 1
+    )
+    assert stats.naive_layer_executions == stats.evaluations * stats.num_layers
+    assert stats.layer_execution_reduction > 1.0
 
 
 def test_weight_cache_reuses_quantizations_across_revisits():
