@@ -7,7 +7,14 @@ quantize
     printing the full report (and optionally saving a checkpoint).
 figure
     Regenerate one of the paper's figures (2, 3, 4, 5, 6, 7,
-    ``ablations`` or ``granularity``) and print it.
+    ``ablations`` or ``granularity``) and print it. ``--all`` runs
+    every figure through the sweep runner (``--jobs N`` processes,
+    results cached under ``.cache/results/``).
+sweep
+    Parallel, resumable accuracy-versus-budget sweep over a B grid and
+    seed set, finishing with a Pareto frontier + knee report. Re-runs
+    only grid points missing from the result cache, so a killed sweep
+    resumes where it stopped.
 cost
     Run the CQ pipeline and print the hardware cost sheet of the
     resulting arrangement (storage / energy / latency vs FP32 and vs
@@ -27,9 +34,8 @@ from repro.core.pipeline import ClassBasedQuantizer
 from repro.core.report import summarize
 from repro.experiments.presets import SCALES, get_pretrained
 from repro.models.registry import available_models
+from repro.runner.registry import FIGURE_NAMES as _FIGURES
 from repro.utils.checkpoint import save_checkpoint
-
-_FIGURES = ("2", "3", "4", "5", "6", "7", "ablations", "granularity")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,9 +57,40 @@ def _build_parser() -> argparse.ArgumentParser:
     quantize.add_argument("--save", default=None, help="checkpoint path (.npz)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("number", choices=_FIGURES)
+    figure.add_argument("number", nargs="?", choices=_FIGURES)
+    figure.add_argument(
+        "--all",
+        action="store_true",
+        help="run every figure via the sweep runner (cached, parallel)",
+    )
     figure.add_argument("--scale", default="tiny", choices=tuple(SCALES))
     figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--jobs", type=int, default=1, help="worker processes for --all")
+    figure.add_argument("--cache-dir", default=None, help="result cache (default .cache/results)")
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel resumable budget sweep + Pareto report"
+    )
+    sweep.add_argument("--model", default="vgg-small", choices=available_models())
+    sweep.add_argument("--dataset", default="synth10", choices=("synth10", "synth100"))
+    sweep.add_argument("--scale", default="tiny", choices=tuple(SCALES))
+    sweep.add_argument(
+        "--budgets",
+        default="1.0,1.5,2.0,2.5,3.0",
+        help="comma-separated average weight-bit budgets B",
+    )
+    sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    sweep.add_argument("--max-bits", type=int, default=4, help="search range upper end N")
+    sweep.add_argument("--act-bits", type=int, default=None, help="activation bit-width")
+    sweep.add_argument("--refine-epochs", type=int, default=None)
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument("--cache-dir", default=None, help="result cache (default .cache/results)")
+    sweep.add_argument(
+        "--cost",
+        default="storage_kib",
+        choices=("storage_kib", "energy_uj", "latency_us", "avg_bits"),
+        help="cost axis of the Pareto report",
+    )
 
     cost = sub.add_parser("cost", help="hardware cost sheet of a CQ arrangement")
     cost.add_argument("--model", default="vgg-small", choices=available_models())
@@ -98,6 +135,26 @@ def _run_quantize(args) -> int:
 
 
 def _run_figure(args) -> int:
+    if args.all == bool(args.number):
+        print(
+            "figure: specify exactly one of a figure number or --all",
+            file=sys.stderr,
+        )
+        return 2
+    if args.all:
+        from repro.runner import SweepRunner, figure_units
+
+        specs = figure_units(scale=args.scale, seed=args.seed)
+        runner = SweepRunner(cache_dir=args.cache_dir, jobs=args.jobs)
+        report = runner.run(specs)
+        for outcome in report.outcomes:
+            origin = "cached" if outcome.cached else "computed"
+            print(f"=== {outcome.spec.name} ({origin}) ===")
+            print(outcome.rendered or "(no rendering)")
+            print()
+        print(report.summary())
+        return 0
+
     from repro.experiments import (
         ablations,
         fig2,
@@ -122,6 +179,46 @@ def _run_figure(args) -> int:
     module = modules[args.number]
     result = module.run(scale=args.scale, seed=args.seed)
     print(module.render(result))
+    return 0
+
+
+def _parse_grid(text: str, kind, flag: str):
+    import math
+
+    try:
+        values = tuple(kind(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        values = ()
+    if not values or not all(math.isfinite(value) for value in values):
+        raise SystemExit(
+            f"sweep: {flag} must be a comma-separated list of finite "
+            f"numbers, got {text!r}"
+        )
+    return values
+
+
+def _run_sweep(args) -> int:
+    from repro.experiments import budget_sweep
+    from repro.runner import SweepRunner, budget_sweep_units
+
+    budgets = _parse_grid(args.budgets, float, "--budgets")
+    seeds = _parse_grid(args.seeds, int, "--seeds")
+    specs = budget_sweep_units(
+        model=args.model,
+        dataset=args.dataset,
+        budgets=budgets,
+        seeds=seeds,
+        scale=args.scale,
+        max_bits=args.max_bits,
+        act_bits=args.act_bits,
+        refine_epochs=args.refine_epochs,
+    )
+    runner = SweepRunner(cache_dir=args.cache_dir, jobs=args.jobs)
+    report = runner.run(specs)
+    points = [budget_sweep.point_from_payload(result) for result in report.results]
+    print(budget_sweep.render(budget_sweep.BudgetSweepResult(points=points), cost=args.cost))
+    print()
+    print(report.summary())
     return 0
 
 
@@ -176,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_quantize(args)
     if args.command == "figure":
         return _run_figure(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "cost":
         return _run_cost(args)
     if args.command == "models":

@@ -4,6 +4,11 @@ Each ``figN`` module exposes ``run(scale=...)`` returning a structured
 result and a ``render(result)`` producing the figure's content as text.
 The benchmark targets under ``benchmarks/`` and the examples both call
 into these, so the paper's evaluation is reproducible from one place.
+
+:mod:`repro.experiments.budget_sweep` is the parametric
+accuracy-versus-budget harness; its grid points (and every figure
+harness) are runnable as sweep-runner units — see :mod:`repro.runner`
+and the ``repro sweep`` / ``repro figure --all`` CLI commands.
 """
 
 from repro.experiments.presets import (

@@ -1,0 +1,216 @@
+"""Parametric accuracy-versus-budget sweep harness.
+
+The paper's headline artefact is the accuracy-vs-budget curve: run CQ
+at a grid of average-bit budgets ``B`` (optionally over several seeds)
+and plot accuracy against hardware cost. Each grid point is independent
+— exactly the embarrassingly-parallel shape the sweep runner
+(:mod:`repro.runner`) fans out over a process pool — so the unit of
+work here is :func:`run_point`, one ``(model, dataset, B, seed)``
+evaluation producing a flat, JSON-friendly :class:`BudgetPoint`.
+
+:func:`run` is the sequential convenience wrapper (grid in one
+process); :func:`render` tabulates the points and pipes them into
+:func:`repro.hw.report.frontier_report` for the Pareto frontier + knee
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CQConfig
+from repro.core.pipeline import ClassBasedQuantizer
+from repro.experiments.presets import get_pretrained, get_scale
+from repro.hw.energy import FP32_BITS
+from repro.hw.pareto import DesignPoint
+from repro.hw.profile import profile_model
+from repro.hw.report import cost_summary, frontier_report
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """One evaluated ``(model, dataset, budget, seed)`` grid point."""
+
+    model: str
+    dataset: str
+    scale: str
+    budget: float
+    seed: int
+    fp_accuracy: float
+    accuracy: float
+    avg_bits: float
+    storage_kib: float
+    energy_uj: float
+    latency_us: float
+
+
+@dataclass
+class BudgetSweepResult:
+    """All grid points of one sweep, in deterministic grid order."""
+
+    points: List[BudgetPoint] = field(default_factory=list)
+
+
+def run_point(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    budget: float = 2.0,
+    seed: int = 0,
+    scale: str = "tiny",
+    max_bits: int = 4,
+    act_bits: Optional[int] = None,
+    refine_epochs: Optional[int] = None,
+) -> BudgetPoint:
+    """Evaluate CQ at one average-bit budget; returns a flat point.
+
+    ``act_bits=None`` keeps activations FP (the paper's weights-only
+    search protocol); the hardware cost sheet then books activations at
+    32 bits. ``refine_epochs=None`` uses the scale preset's budget.
+    """
+    scale_cfg = get_scale(scale)
+    net, data, fp_accuracy = get_pretrained(model, dataset, scale=scale, seed=seed)
+    config = CQConfig(
+        target_avg_bits=float(budget),
+        max_bits=max_bits,
+        act_bits=act_bits,
+        refine_epochs=(
+            refine_epochs if refine_epochs is not None else scale_cfg.refine_epochs
+        ),
+        refine_lr=scale_cfg.refine_lr,
+        refine_batch_size=scale_cfg.batch_size,
+        samples_per_class=min(16, data.config.val_per_class),
+        seed=seed,
+    )
+    result = ClassBasedQuantizer(config).quantize(net, data)
+    profile = profile_model(net, data.image_shape)
+    cost_act_bits = act_bits if act_bits is not None else FP32_BITS
+    summary = cost_summary(profile, result.bit_map, cost_act_bits)
+    return BudgetPoint(
+        model=model,
+        dataset=dataset,
+        scale=scale,
+        budget=float(budget),
+        seed=int(seed),
+        fp_accuracy=float(fp_accuracy),
+        accuracy=float(result.accuracy_after_refine),
+        avg_bits=float(result.average_bits),
+        storage_kib=summary.storage_kib,
+        energy_uj=summary.energy_uj,
+        latency_us=summary.latency_us,
+    )
+
+
+def run(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    budgets: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0),
+    seeds: Sequence[int] = (0,),
+    scale: str = "tiny",
+    max_bits: int = 4,
+    act_bits: Optional[int] = None,
+    refine_epochs: Optional[int] = None,
+) -> BudgetSweepResult:
+    """Sequential sweep over the ``budgets x seeds`` grid.
+
+    Grid order is deterministic (budgets outer, seeds inner) and
+    matches the unit order the sweep runner produces, so sequential and
+    pooled sweeps collect points identically.
+    """
+    points = [
+        run_point(
+            model=model,
+            dataset=dataset,
+            budget=budget,
+            seed=seed,
+            scale=scale,
+            max_bits=max_bits,
+            act_bits=act_bits,
+            refine_epochs=refine_epochs,
+        )
+        for budget in budgets
+        for seed in seeds
+    ]
+    return BudgetSweepResult(points=points)
+
+
+def point_from_payload(payload: Dict) -> BudgetPoint:
+    """Rebuild a :class:`BudgetPoint` from its archived JSON form."""
+    names = {f.name for f in fields(BudgetPoint)}
+    return BudgetPoint(**{k: v for k, v in payload.items() if k in names})
+
+
+def design_points(
+    points: Sequence[BudgetPoint], cost: str = "storage_kib"
+) -> List[DesignPoint]:
+    """Map sweep points onto the Pareto plane (accuracy vs ``cost``).
+
+    ``cost`` selects the cost axis: ``storage_kib``, ``energy_uj``,
+    ``latency_us`` or ``avg_bits``. Points whose accuracy or cost did
+    not survive JSON archival (non-finite -> ``None``) are skipped.
+    """
+    design = []
+    for point in points:
+        cost_value = getattr(point, cost)
+        if point.accuracy is None or cost_value is None:
+            continue
+        design.append(
+            DesignPoint(
+                accuracy=point.accuracy,
+                cost=cost_value,
+                label=f"B={point.budget:g} seed={point.seed}",
+                payload=point,
+            )
+        )
+    return design
+
+
+def render(result: BudgetSweepResult, cost: str = "storage_kib") -> str:
+    """Point table plus the Pareto frontier + knee report."""
+    from repro.analysis.render import ascii_table
+
+    points = sorted(result.points, key=lambda p: (p.budget, p.seed))
+    rows = [
+        [
+            f"{p.budget:g}",
+            p.seed,
+            p.fp_accuracy,
+            p.accuracy,
+            p.avg_bits,
+            p.storage_kib,
+            p.energy_uj,
+            p.latency_us,
+        ]
+        for p in points
+    ]
+    header = points[0] if points else None
+    title = (
+        f"budget sweep — {header.model} on {header.dataset} ({header.scale}):"
+        if header
+        else "budget sweep (no points):"
+    )
+    table = ascii_table(
+        [
+            "B",
+            "seed",
+            "FP acc",
+            "CQ acc",
+            "avg bits",
+            "storage (KiB)",
+            "energy (uJ)",
+            "latency (us)",
+        ],
+        rows,
+        title=title,
+    )
+    cost_labels = {
+        "storage_kib": "storage (KiB)",
+        "energy_uj": "energy (uJ)",
+        "latency_us": "latency (us)",
+        "avg_bits": "avg bits",
+    }
+    report = frontier_report(
+        design_points(points, cost=cost),
+        cost_label=cost_labels.get(cost, cost),
+    )
+    return table + "\n\n" + report

@@ -18,22 +18,35 @@ PathLike = Union[str, Path]
 
 
 def _jsonable(value: Any) -> Any:
-    """Recursively convert numpy / dataclass values to JSON-safe types."""
+    """Recursively convert numpy / dataclass values to JSON-safe types.
+
+    Every float — python or numpy, scalar or array element — goes
+    through the finite check: NaN/inf become ``None`` so the emitted
+    JSON never contains the non-standard ``NaN``/``Infinity`` tokens.
+    """
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _jsonable(value.tolist())
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if np.isfinite(value) else None
     if isinstance(value, dict):
         return {_key(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if is_dataclass(value) and not isinstance(value, type):
         return _jsonable(asdict(value))
-    if isinstance(value, float) and not np.isfinite(value):
-        return None
-    return value
+    if isinstance(value, (str, int)) or value is None:
+        return value
+    if hasattr(value, "to_dict"):
+        return _jsonable(value.to_dict())
+    # Terminal fallback for arbitrary objects (models, observers, ...)
+    # riding along in result dataclasses: archive a lossy repr rather
+    # than refusing to serialise the whole result.
+    return repr(value)
 
 
 def _key(key: Any) -> str:
@@ -50,7 +63,10 @@ def save_result(result: Any, path: PathLike, metadata: Dict = None) -> None:
     payload = {"result": _jsonable(result)}
     if metadata:
         payload["metadata"] = _jsonable(metadata)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    # allow_nan=False keeps the guarantee loud: if a non-finite value
+    # ever slips past _jsonable, dumping fails instead of emitting the
+    # non-standard NaN/Infinity tokens.
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
 
 
 def load_result(path: PathLike) -> Dict:

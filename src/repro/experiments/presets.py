@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -32,6 +33,18 @@ from repro.utils.checkpoint import load_checkpoint, save_checkpoint
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "pretrained"
 _MEMORY_CACHE: Dict[str, Tuple[Module, float]] = {}
+
+
+def _disk_cache_dir() -> Path:
+    """Checkpoint cache location, overridable per process tree.
+
+    ``REPRO_PRETRAINED_CACHE`` takes precedence over the module-level
+    default so test isolation reaches sweep-runner pool workers under
+    any multiprocessing start method (environment is inherited even by
+    ``spawn``, module monkeypatches are not).
+    """
+    override = os.environ.get("REPRO_PRETRAINED_CACHE")
+    return Path(override) if override else _CACHE_DIR
 
 
 @dataclass(frozen=True)
@@ -226,7 +239,9 @@ def get_pretrained(
         return model, dataset, accuracy
 
     cfg = get_scale(scale)
-    checkpoint_path = _CACHE_DIR / f"{model_name}-{dataset_name}-{scale}-{seed}-{key}.npz"
+    checkpoint_path = (
+        _disk_cache_dir() / f"{model_name}-{dataset_name}-{scale}-{seed}-{key}.npz"
+    )
     if use_disk_cache and checkpoint_path.exists():
         kwargs = _model_kwargs(model_name, cfg)
         kwargs.pop("image_size", None)

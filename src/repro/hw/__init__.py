@@ -35,7 +35,13 @@ from repro.hw.pareto import (
     pareto_front,
 )
 from repro.hw.profile import LayerProfile, ModelProfile, profile_model
-from repro.hw.report import CostSummary, comparison_table, cost_summary, layer_cost_table
+from repro.hw.report import (
+    CostSummary,
+    comparison_table,
+    cost_summary,
+    frontier_report,
+    layer_cost_table,
+)
 
 __all__ = [
     "FP32_BITS",
@@ -58,5 +64,6 @@ __all__ = [
     "CostSummary",
     "comparison_table",
     "cost_summary",
+    "frontier_report",
     "layer_cost_table",
 ]

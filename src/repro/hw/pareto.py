@@ -41,13 +41,29 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
 
     Duplicate-coordinate points are all retained (none dominates the
     other), so equal-quality alternatives stay visible.
+
+    Sort-and-scan, O(n log n): after sorting by (cost asc, accuracy
+    desc), a point survives iff it has its cost group's best accuracy
+    and that accuracy strictly exceeds everything seen at lower cost —
+    an equally accurate but cheaper point dominates it. Sweep-runner
+    grids feed thousands of points through here, so the old all-pairs
+    O(n^2) scan was a hot path.
     """
-    front = [
-        p
-        for p in points
-        if not any(q.dominates(p) for q in points)
-    ]
-    return sorted(front, key=lambda p: (p.cost, -p.accuracy))
+    ordered = sorted(points, key=lambda p: (p.cost, -p.accuracy))
+    front: List[DesignPoint] = []
+    best_accuracy = float("-inf")  # best accuracy at strictly lower cost
+    i = 0
+    while i < len(ordered):
+        # Same-cost group: the stable sort puts its best accuracy first.
+        group_best = ordered[i].accuracy
+        j = i
+        while j < len(ordered) and ordered[j].cost == ordered[i].cost:
+            if ordered[j].accuracy == group_best and group_best > best_accuracy:
+                front.append(ordered[j])
+            j += 1
+        best_accuracy = max(best_accuracy, group_best)
+        i = j
+    return front
 
 
 def dominated_points(points: Sequence[DesignPoint]) -> List[DesignPoint]:

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.analysis.render import ascii_table
 from repro.hw.energy import EnergyModel, EnergyReport
 from repro.hw.latency import LatencyModel, LatencyReport
+from repro.hw.pareto import DesignPoint, hypervolume_2d, knee_point, pareto_front
 from repro.hw.profile import ModelProfile
 from repro.quant.bitmap import BitWidthMap
 
@@ -126,6 +127,42 @@ def layer_cost_table(
         rows,
         title=title,
     )
+
+
+def frontier_report(
+    points: Sequence[DesignPoint],
+    title: str = "accuracy-cost frontier:",
+    cost_label: str = "cost",
+    accuracy_label: str = "accuracy",
+) -> str:
+    """Pareto frontier + knee summary of a design-space sweep.
+
+    Sweep harnesses (:mod:`repro.experiments.budget_sweep`, the
+    ``repro sweep`` CLI) pipe their collected points straight through
+    here: the table lists the non-dominated points by ascending cost
+    with the knee marked, and the footer reports frontier size and the
+    hypervolume against the sweep's own worst corner
+    ``(max cost, min accuracy)``.
+    """
+    if not points:
+        return title + "\n  (no design points)"
+    front = pareto_front(points)
+    knee = knee_point(points)
+    rows = [
+        [p.label or f"#{i}", p.cost, p.accuracy, "<-- knee" if p is knee else ""]
+        for i, p in enumerate(front)
+    ]
+    table = ascii_table(["design", cost_label, accuracy_label, ""], rows, title=title)
+    reference = (max(p.cost for p in points), min(p.accuracy for p in points))
+    volume = hypervolume_2d(points, reference)
+    footer = (
+        f"frontier: {len(front)}/{len(points)} points non-dominated"
+        f" | knee: {knee.label or 'n/a'}"
+        f" ({cost_label} {knee.cost:.4g}, {accuracy_label} {knee.accuracy:.4g})"
+        f" | hypervolume {volume:.4g}"
+        f" (ref {cost_label} {reference[0]:.4g}, {accuracy_label} {reference[1]:.4g})"
+    )
+    return table + "\n" + footer
 
 
 def comparison_table(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -16,7 +17,12 @@ _METADATA_KEY = "__metadata_json__"
 
 
 def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = None) -> None:
-    """Save a model's state dict (and JSON-serialisable metadata) to ``.npz``."""
+    """Save a model's state dict (and JSON-serialisable metadata) to ``.npz``.
+
+    The write is atomic (temp file + rename): sweep-runner workers may
+    race to checkpoint the same pretrained model, and readers must
+    never observe a half-written archive.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(model.state_dict())
@@ -24,7 +30,12 @@ def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = No
         payload[_METADATA_KEY] = np.frombuffer(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         )
-    np.savez(path, **payload)
+    # np.savez appends ".npz" unless the name already ends with it, so
+    # the temp name must keep the suffix for the rename to be exact.
+    tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}{path.suffix or '.npz'}")
+    np.savez(tmp, **payload)
+    saved = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+    os.replace(saved, path if path.suffix else path.with_name(path.name + ".npz"))
 
 
 def load_checkpoint(model: Module, path: PathLike, strict: bool = True) -> Optional[Dict]:

@@ -193,7 +193,64 @@ class TestResultIO:
         raw = json.loads(path.read_text())
         assert raw["result"]["value"] is None
 
+    def test_numpy_nonfinite_roundtrip_is_strict_json(self, tmp_path):
+        """Regression: np.floating NaN/inf used to be converted with
+        ``float()`` before the finite check, leaking non-standard
+        ``NaN``/``Infinity`` tokens into the emitted JSON."""
+        payload = {
+            "np_nan": np.float64("nan"),
+            "np_inf": np.float32("inf"),
+            "np_ninf": np.float64("-inf"),
+            "py_nan": float("nan"),
+            "array": np.array([1.0, np.nan, np.inf]),
+            "nested": {"deep": [np.float64("nan"), 2.0]},
+        }
+        path = tmp_path / "nonfinite.json"
+        save_result(payload, path, metadata={"fp_acc": np.float64("nan")})
+        text = path.read_text()
+        for token in ("NaN", "Infinity"):
+            assert token not in text
+
+        def _reject(token):
+            raise AssertionError(f"non-standard JSON token {token!r} emitted")
+
+        loaded = json.loads(text, parse_constant=_reject)  # strict parse
+        result = loaded["result"]
+        assert result["np_nan"] is None
+        assert result["np_inf"] is None
+        assert result["np_ninf"] is None
+        assert result["py_nan"] is None
+        assert result["array"] == [1.0, None, None]
+        assert result["nested"]["deep"] == [None, 2.0]
+        assert loaded["metadata"]["fp_acc"] is None
+
+    def test_finite_numpy_floats_survive(self, tmp_path):
+        path = tmp_path / "finite.json"
+        save_result({"v": np.float32(0.25), "a": np.array([0.5, -1.5])}, path)
+        loaded = load_result(path)
+        assert loaded["result"]["v"] == 0.25
+        assert loaded["result"]["a"] == [0.5, -1.5]
+
     def test_creates_parent_dirs(self, tmp_path):
         path = tmp_path / "a" / "b" / "c.json"
         save_result({"k": 1}, path)
         assert path.exists()
+
+    def test_objects_with_to_dict_are_expanded(self, tmp_path):
+        from repro.quant.bitmap import BitWidthMap
+
+        bit_map = BitWidthMap({"conv": np.array([2, 0, 4])}, {"conv": 9})
+        path = tmp_path / "map.json"
+        save_result({"bit_map": bit_map}, path)
+        loaded = load_result(path)
+        assert loaded["result"]["bit_map"]["bits"]["conv"] == [2, 0, 4]
+        assert loaded["result"]["bit_map"]["weights_per_filter"]["conv"] == 9
+
+    def test_arbitrary_objects_fall_back_to_repr(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        path = tmp_path / "opaque.json"
+        save_result({"obj": Opaque()}, path)
+        assert load_result(path)["result"]["obj"] == "<opaque thing>"

@@ -43,6 +43,54 @@ class TestListingCommands:
         with pytest.raises(SystemExit):
             main(["cost", "--model", "alexnet"])
 
+    def test_sweep_command_registered(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "alexnet"])
+
+
+class TestFigureAll:
+    def test_figure_requires_number_or_all(self, capsys):
+        assert main(["figure"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_figure_rejects_number_and_all(self, capsys):
+        assert main(["figure", "3", "--all"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_figure_all_runs_units_through_cache(self, capsys, tmp_path, monkeypatch):
+        # Swap the (expensive) figure units for toy units: this tests
+        # the CLI wiring — runner invocation, rendering, cache summary.
+        import repro.runner
+        from repro.runner.testing import toy_units
+
+        monkeypatch.setattr(
+            repro.runner,
+            "figure_units",
+            lambda scale, seed: toy_units([1.0, 2.0], seeds=[seed]),
+        )
+        code = main(["figure", "--all", "--jobs", "1", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== toy-v1-s0 (computed) ===" in out
+        assert "toy value=2 scaled=2" in out
+        assert "results cache: 0 hits, 2 misses" in out
+
+        code = main(["figure", "--all", "--jobs", "1", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== toy-v1-s0 (cached) ===" in out
+        assert "results cache: 2 hits, 0 misses" in out
+
+
+class TestSweepArguments:
+    def test_bad_budget_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--budgets", "fast,slow"])
+
+    def test_empty_seed_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--seeds", ","])
+
 
 @pytest.mark.slow
 class TestCostCommand:
@@ -67,6 +115,64 @@ class TestCostCommand:
         assert "per-layer hardware cost" in out
         assert "arrangement cost comparison" in out
         assert "uniform" in out
+
+
+@pytest.mark.slow
+class TestSweepCommand:
+    def test_sweep_end_to_end_resumes_and_is_jobs_invariant(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.experiments.presets as presets
+        from repro.runner import SweepRunner, budget_sweep_units
+
+        # Env (not a module monkeypatch) so the isolation reaches pool
+        # workers under any multiprocessing start method.
+        monkeypatch.setenv("REPRO_PRETRAINED_CACHE", str(tmp_path / "pretrained"))
+        presets.clear_caches()
+        argv = [
+            "sweep",
+            "--model", "mlp",
+            "--dataset", "synth10",
+            "--scale", "tiny",
+            "--budgets", "1.5,2.5",
+            "--seeds", "0",
+            "--refine-epochs", "1",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "results"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "budget sweep — mlp on synth10 (tiny)" in out
+        assert "accuracy-cost frontier" in out
+        assert "results cache: 0 hits, 2 misses" in out
+
+        # Killed-and-restarted semantics: the second invocation finds
+        # every grid point archived and re-runs nothing.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "results cache: 2 hits, 0 misses" in out
+
+        # Jobs-count invariance: a fresh --jobs 1 sweep of the same
+        # grid archives byte-identical result JSON.
+        specs = budget_sweep_units(
+            model="mlp",
+            dataset="synth10",
+            budgets=(1.5, 2.5),
+            seeds=(0,),
+            scale="tiny",
+            refine_epochs=1,
+        )
+        argv_inline = argv[:-3] + ["1", "--cache-dir", str(tmp_path / "results-inline")]
+        assert argv_inline[-4] == "--jobs"
+        assert main(argv_inline) == 0
+        capsys.readouterr()
+        pooled = SweepRunner(cache_dir=tmp_path / "results", jobs=2)
+        inline = SweepRunner(cache_dir=tmp_path / "results-inline", jobs=1)
+        for spec in specs:
+            assert (
+                pooled.result_path(spec).read_bytes()
+                == inline.result_path(spec).read_bytes()
+            )
 
 
 @pytest.mark.slow

@@ -96,6 +96,46 @@ class TestParetoFront:
             assert id(p) in ids or any(q.dominates(p) for q in front)
 
 
+def _brute_force_front(points):
+    """Reference all-pairs O(n^2) frontier (the pre-optimisation code)."""
+    front = [p for p in points if not any(q.dominates(p) for q in points)]
+    return sorted(front, key=lambda p: (p.cost, -p.accuracy))
+
+
+class TestParetoFrontMatchesBruteForce:
+    # Coarse grids force coordinate collisions, exercising the
+    # duplicate-retention and same-cost-group semantics.
+    coarse = st.tuples(
+        st.integers(min_value=0, max_value=4).map(lambda v: v / 4.0),
+        st.integers(min_value=1, max_value=5).map(float),
+    )
+    fine = st.tuples(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0.01, max_value=100),
+    )
+
+    @given(st.lists(st.one_of(coarse, fine), max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_identical_to_brute_force(self, pairs):
+        points = _points(pairs)
+        assert pareto_front(points) == _brute_force_front(points)
+
+    def test_duplicates_all_retained(self):
+        points = _points([(0.9, 1.0), (0.9, 1.0), (0.5, 2.0)])
+        front = pareto_front(points)
+        assert front == [points[0], points[1]]
+        # Identity check: both duplicate objects survive, in input order.
+        assert front[0] is points[0] and front[1] is points[1]
+
+    def test_same_cost_lower_accuracy_dominated(self):
+        points = _points([(0.8, 1.0), (0.9, 1.0)])
+        assert pareto_front(points) == [points[1]]
+
+    def test_same_accuracy_higher_cost_dominated(self):
+        points = _points([(0.9, 2.0), (0.9, 1.0)])
+        assert pareto_front(points) == [points[1]]
+
+
 class TestKneePoint:
     def test_empty_returns_none(self):
         assert knee_point([]) is None
@@ -114,6 +154,36 @@ class TestKneePoint:
         points = _points([(0.5, 1.0), (0.9, 2.0), (0.85, 3.0), (0.95, 8.0)])
         knee = knee_point(points)
         assert knee in pareto_front(points)
+
+    def test_two_point_frontier_returns_cheapest(self):
+        points = _points([(0.5, 1.0), (0.9, 5.0)])
+        knee = knee_point(points)
+        assert knee is not None
+        assert knee.cost == 1.0
+
+    def test_zero_cost_span_frontier(self):
+        # All frontier points share one cost: the frontier collapses to
+        # the single best-accuracy point; the chord has no span.
+        points = _points([(0.5, 1.0), (0.9, 1.0), (0.7, 1.0)])
+        knee = knee_point(points)
+        assert knee is not None
+        assert knee.accuracy == 0.9 and knee.cost == 1.0
+
+    def test_zero_accuracy_span_frontier(self):
+        # Duplicate-coordinate frontier (>2 points after retention):
+        # both spans are zero, so the normalisation guard must fire.
+        points = _points([(0.8, 2.0)] * 3)
+        knee = knee_point(points)
+        assert knee is not None
+        assert knee.accuracy == 0.8 and knee.cost == 2.0
+
+    def test_degenerate_accuracy_span_multi_cost(self):
+        # One accuracy level at several costs: only the cheapest is on
+        # the frontier, so the <=2-point branch returns it.
+        points = _points([(0.8, 1.0), (0.8, 2.0), (0.8, 3.0)])
+        knee = knee_point(points)
+        assert knee is not None
+        assert knee.cost == 1.0
 
 
 class TestHypervolume:
@@ -137,3 +207,18 @@ class TestHypervolume:
         points = _points([(0.5, 2.0), (0.8, 6.0)])
         expected = (10 - 2) * 0.5 + (10 - 6) * (0.8 - 0.5)
         assert hypervolume_2d(points, reference) == pytest.approx(expected)
+
+    def test_reference_dominated_by_no_frontier_point(self):
+        # Reference cheaper AND more accurate than everything: no point
+        # dominates it, so the covered area is exactly zero.
+        points = _points([(0.4, 5.0), (0.6, 8.0)])
+        assert hypervolume_2d(points, reference=(2.0, 0.9)) == 0.0
+
+    def test_reference_partially_dominated_mixed_frontier(self):
+        # Only the frontier points that dominate the reference count.
+        points = _points([(0.8, 2.0), (0.9, 20.0)])  # second is too costly
+        volume = hypervolume_2d(points, reference=(10.0, 0.5))
+        assert volume == pytest.approx((10.0 - 2.0) * (0.8 - 0.5))
+
+    def test_empty_input_is_zero(self):
+        assert hypervolume_2d([], reference=(1.0, 0.0)) == 0.0
