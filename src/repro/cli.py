@@ -19,6 +19,16 @@ cost
     Run the CQ pipeline and print the hardware cost sheet of the
     resulting arrangement (storage / energy / latency vs FP32 and vs
     uniform quantization at the same average bits).
+serve
+    Load a CQW1 serving artifact (written by ``quantize
+    --save-artifact``), reconstruct the model bit-exactly from the
+    integer codes, and replay a concurrent request load through the
+    micro-batching inference engine, printing a throughput/latency
+    report and a bit-exact parity check. ``--repeat N`` starts N
+    engines in sequence to demonstrate the content-hash artifact cache.
+predict
+    One-shot inference: answer a saved batch (``.npz``/``.npy``) from a
+    serving artifact and print the predicted classes.
 models / datasets
     List the registered model architectures / dataset presets.
 """
@@ -55,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     quantize.add_argument("--refine-epochs", type=int, default=8)
     quantize.add_argument("--seed", type=int, default=0)
     quantize.add_argument("--save", default=None, help="checkpoint path (.npz)")
+    quantize.add_argument(
+        "--save-artifact",
+        default=None,
+        metavar="PATH",
+        help="write the packed CQW1 serving artifact (bitstream + model "
+        "sidecar) consumed by `repro serve` / `repro predict`",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", nargs="?", choices=_FIGURES)
@@ -101,6 +118,46 @@ def _build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--refine-epochs", type=int, default=8)
     cost.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="serve a CQW1 artifact under a replayed request load"
+    )
+    serve.add_argument("--artifact", required=True, help="CQW1 serving artifact path")
+    serve.add_argument("--requests", type=int, default=64, help="replayed requests")
+    serve.add_argument("--concurrency", type=int, default=4, help="client threads")
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window (how long an open batch waits)",
+    )
+    serve.add_argument("--max-batch", type=int, default=16, help="batch-size cap")
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="engine starts; >1 demonstrates the content-hash artifact cache",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-exact replay parity check",
+    )
+
+    predict = sub.add_parser(
+        "predict", help="one-shot inference on a saved batch from an artifact"
+    )
+    predict.add_argument("--artifact", required=True, help="CQW1 serving artifact path")
+    predict.add_argument(
+        "--input", required=True, help=".npz/.npy holding the input batch (N,C,H,W)"
+    )
+    predict.add_argument(
+        "--key", default="images", help="array name inside a .npz input"
+    )
+    predict.add_argument(
+        "--output", default=None, help="write logits + labels to this .npz"
+    )
+    predict.add_argument("--max-batch", type=int, default=32, help="batch-size cap")
+
     sub.add_parser("models", help="list registered model architectures")
     sub.add_parser("datasets", help="list dataset presets")
     return parser
@@ -131,6 +188,23 @@ def _run_quantize(args) -> int:
             },
         )
         print(f"saved quantized model to {args.save}")
+    if args.save_artifact:
+        from repro.serve import artifact_from_result
+
+        artifact = artifact_from_result(
+            result,
+            model_name=args.model,
+            dataset_name=args.dataset,
+            dataset=dataset,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        size = artifact.save(args.save_artifact)
+        print(
+            f"saved serving artifact to {args.save_artifact}: {size} bytes "
+            f"({result.average_bits:.3f} avg weight bits, "
+            f"x{artifact.export.compression_ratio():.1f} smaller than FP32)"
+        )
     return 0
 
 
@@ -266,6 +340,100 @@ def _run_cost(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from repro.experiments.presets import get_dataset
+    from repro.serve import (
+        ArtifactCache,
+        ServeConfig,
+        ServingSession,
+        cycle_inputs,
+        render_replay,
+        replay_requests,
+        verify_replay,
+    )
+
+    cache = ArtifactCache()
+    inputs = None
+    for round_index in range(max(1, args.repeat)):
+        artifact = cache.load(args.artifact)
+        manifest = artifact.manifest
+        if inputs is None:
+            dataset = get_dataset(manifest.dataset, scale=manifest.scale, seed=manifest.seed)
+            inputs = cycle_inputs(dataset.test_images, args.requests)
+            print(
+                f"serving {manifest.model} ({manifest.dataset}/{manifest.scale}, "
+                f"{artifact.nbytes} bytes, key {artifact.content_key}); replaying "
+                f"{len(inputs)} requests from {args.concurrency} clients"
+            )
+        session = ServingSession(
+            artifact,
+            config=ServeConfig(
+                batch_window_s=args.batch_window_ms / 1e3,
+                max_batch_size=args.max_batch,
+                record_batches=not args.no_verify,
+            ),
+        )
+        try:
+            run = replay_requests(session, inputs, concurrency=args.concurrency)
+            print(render_replay(run.payload, title=f"round {round_index + 1}"))
+            if not args.no_verify:
+                verified = verify_replay(session, inputs, run)
+                if verified != len(inputs):
+                    raise AssertionError(
+                        f"only {verified}/{len(inputs)} requests were "
+                        f"verifiable (batches with non-replay traffic)"
+                    )
+                print(f"parity: OK ({verified} requests bit-exact)")
+        except AssertionError as error:
+            print(f"parity: FAILED — {error}", file=sys.stderr)
+            return 1
+        finally:
+            session.close()
+        print(session.stats.summary())
+        print()
+    print(cache.stats.summary())
+    return 0
+
+
+def _run_predict(args) -> int:
+    import numpy as np
+
+    from repro.serve import DEFAULT_CACHE, ServeConfig, ServingSession
+
+    loaded = np.load(args.input)
+    if isinstance(loaded, np.ndarray):
+        images = loaded
+    else:
+        with loaded:
+            if args.key in loaded.files:
+                images = loaded[args.key]
+            elif len(loaded.files) == 1:
+                images = loaded[loaded.files[0]]
+            else:
+                print(
+                    f"predict: no array {args.key!r} in {args.input} "
+                    f"(found {loaded.files})",
+                    file=sys.stderr,
+                )
+                return 2
+    if images.ndim < 2:
+        print(f"predict: expected a batch, got shape {images.shape}", file=sys.stderr)
+        return 2
+    artifact = DEFAULT_CACHE.load(args.artifact)
+    with ServingSession(
+        artifact, config=ServeConfig(max_batch_size=args.max_batch)
+    ) as session:
+        logits = session.predict_batch(images)
+    labels = logits.argmax(axis=1)
+    for index, label in enumerate(labels):
+        print(f"sample {index}: class {int(label)} (logit {logits[index, label]:+.4f})")
+    print(f"predicted {len(labels)} samples from {args.artifact}")
+    if args.output:
+        np.savez(args.output, logits=logits, labels=labels)
+        print(f"wrote logits/labels to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -277,6 +445,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "cost":
         return _run_cost(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "predict":
+        return _run_predict(args)
     if args.command == "models":
         print("\n".join(available_models()))
         return 0

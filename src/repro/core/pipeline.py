@@ -49,6 +49,12 @@ class CQResult:
     bit_map: BitWidthMap
     importance: ImportanceResult
     search: SearchResult
+    config: Optional[CQConfig] = None
+    """The pipeline configuration that produced this result (``None``
+    only for hand-built results). Downstream consumers
+    (e.g. :func:`repro.serve.artifact.artifact_from_result`) read
+    ``max_bits``/``act_bits`` from here to rebuild the model."""
+
     refine_history: History = field(repr=False, default=None)
     accuracy_fp: float = float("nan")
     """Test accuracy of the full-precision model."""
@@ -123,6 +129,7 @@ class ClassBasedQuantizer:
             bit_map=search.bit_map,
             importance=importance,
             search=search,
+            config=cfg,
             refine_history=history,
             accuracy_fp=accuracy_fp,
             accuracy_before_refine=accuracy_before,

@@ -165,6 +165,28 @@ def _model_kwargs(model_name: str, scale_cfg: ExperimentScale) -> dict:
     raise KeyError(f"unknown model {model_name!r}")
 
 
+def build_preset_model(
+    model_name: str,
+    num_classes: int,
+    image_size: int,
+    scale: str = "small",
+    seed: int = 0,
+) -> Module:
+    """Architecture-only construction of a preset model (no training).
+
+    Builds the exact architecture ``pretrain``/``get_pretrained`` would
+    train at this scale, so state dicts and serving artifacts
+    (:mod:`repro.serve.artifact`) saved from a preset model load back
+    into a freshly built one.
+    """
+    cfg = get_scale(scale)
+    kwargs = _model_kwargs(model_name, cfg)
+    kwargs.pop("image_size", None)
+    if model_name in ("vgg-small", "mlp"):
+        kwargs["image_size"] = image_size
+    return build_model(model_name, num_classes=num_classes, seed=seed, **kwargs)
+
+
 def pretrain(
     model_name: str,
     dataset: SynthCIFAR,
@@ -175,12 +197,12 @@ def pretrain(
     """Train a fresh model on ``dataset``; returns ``(model, test_accuracy)``."""
     cfg = get_scale(scale)
     epochs = epochs if epochs is not None else cfg.pretrain_epochs
-    kwargs = _model_kwargs(model_name, cfg)
-    kwargs.pop("image_size", None)
-    if model_name in ("vgg-small", "mlp"):
-        kwargs["image_size"] = dataset.config.image_size
-    model = build_model(
-        model_name, num_classes=dataset.num_classes, seed=seed, **kwargs
+    model = build_preset_model(
+        model_name,
+        num_classes=dataset.num_classes,
+        image_size=dataset.config.image_size,
+        scale=scale,
+        seed=seed,
     )
     train_loader = DataLoader(
         ArrayDataset(dataset.train_images, dataset.train_labels),
@@ -238,17 +260,16 @@ def get_pretrained(
         model, accuracy = _MEMORY_CACHE[key]
         return model, dataset, accuracy
 
-    cfg = get_scale(scale)
     checkpoint_path = (
         _disk_cache_dir() / f"{model_name}-{dataset_name}-{scale}-{seed}-{key}.npz"
     )
     if use_disk_cache and checkpoint_path.exists():
-        kwargs = _model_kwargs(model_name, cfg)
-        kwargs.pop("image_size", None)
-        if model_name in ("vgg-small", "mlp"):
-            kwargs["image_size"] = dataset.config.image_size
-        model = build_model(
-            model_name, num_classes=dataset.num_classes, seed=seed, **kwargs
+        model = build_preset_model(
+            model_name,
+            num_classes=dataset.num_classes,
+            image_size=dataset.config.image_size,
+            scale=scale,
+            seed=seed,
         )
         metadata = load_checkpoint(model, checkpoint_path)
         accuracy = float(metadata["test_accuracy"]) if metadata else float("nan")

@@ -60,7 +60,15 @@ class LayerExport:
         return self.payload_bits + self.metadata_bits
 
     def reconstruct(self) -> np.ndarray:
-        """Rebuild the fake-quantized weight array from the codes."""
+        """Rebuild the fake-quantized weight array from the codes.
+
+        The arithmetic mirrors :func:`repro.quant.uniform.quantize_uniform`
+        operation for operation (normalise by ``levels - 1`` first, then
+        rescale by the span), so the rebuilt array is **bit-exact** with
+        the model's ``effective_weight()`` — not merely close. The
+        serving subsystem (:mod:`repro.serve`) relies on this to run
+        forwards straight from the integer codes.
+        """
         out = np.zeros(self.weight_shape, dtype=np.float64)
         span = self.upper - self.lower
         for f, bits in enumerate(self.bits_per_filter):
@@ -68,7 +76,8 @@ class LayerExport:
             if bits == 0:
                 continue
             levels = quantization_levels(bits)
-            values = self.lower + span * self.codes[f] / (levels - 1)
+            normalized = self.codes[f] / (levels - 1)  # eq. (2), already rounded
+            values = span * normalized + self.lower  # eq. (3)
             out[f] = values.reshape(self.weight_shape[1:])
         return out
 
@@ -162,17 +171,40 @@ def export_quantized_weights(model: Module) -> QuantizedExport:
     return export
 
 
-def verify_export(model: Module, export: Optional[QuantizedExport] = None) -> bool:
+class ExportMismatchError(ValueError):
+    """Raised by :func:`verify_export` in strict mode: an exported layer
+    does not reconstruct its model's ``effective_weight``."""
+
+
+def verify_export(
+    model: Module,
+    export: Optional[QuantizedExport] = None,
+    strict: bool = False,
+    atol: float = 1e-12,
+) -> bool:
     """Check that the export reconstructs ``effective_weight`` bit-exactly.
 
     ``span == 0`` layers reconstruct to zero, matching the quantizer's
     degenerate-range behaviour for all-zero weights.
+
+    With ``strict=True`` a mismatch raises :class:`ExportMismatchError`
+    naming the first mismatching layer and its maximum absolute error
+    instead of returning ``False`` — the debuggable mode the serving
+    parity tests use.
     """
     export = export if export is not None else export_quantized_weights(model)
     layers = quantized_layers(model)
     for name, layer_export in export.layers.items():
         effective = layers[name].effective_weight().data
         rebuilt = layer_export.reconstruct()
-        if not np.allclose(effective, rebuilt, atol=1e-12):
+        if not np.allclose(effective, rebuilt, atol=atol):
+            if strict:
+                max_abs_error = (
+                    float(np.max(np.abs(effective - rebuilt))) if effective.size else 0.0
+                )
+                raise ExportMismatchError(
+                    f"layer {name!r}: reconstruction differs from "
+                    f"effective_weight (max abs error {max_abs_error:.6e})"
+                )
             return False
     return True

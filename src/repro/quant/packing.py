@@ -114,13 +114,22 @@ def _pack_layer(layer: LayerExport) -> bytes:
     return b"".join(chunks)
 
 
-class _Reader:
+class ByteReader:
+    """Cursor over a byte buffer with struct-format reads.
+
+    Shared by the CQW1 frame parser below and by container formats that
+    append further sections after the frames (the serving sidecar in
+    :mod:`repro.serve.artifact`).
+    """
+
     def __init__(self, data: bytes):
         self.data = data
         self.offset = 0
 
     def take(self, fmt: str):
         size = struct.calcsize(fmt)
+        if self.offset + size > len(self.data):
+            raise ValueError("truncated bitstream")
         values = struct.unpack_from(fmt, self.data, self.offset)
         self.offset += size
         return values
@@ -132,8 +141,15 @@ class _Reader:
         self.offset += count
         return chunk
 
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
 
-def _unpack_layer(reader: _Reader) -> LayerExport:
+
+#: Backward-compatible alias (pre-serving name).
+_Reader = ByteReader
+
+
+def _unpack_layer(reader: ByteReader) -> LayerExport:
     (name_len,) = reader.take("<H")
     name = reader.take_bytes(name_len).decode("utf-8")
     (ndim,) = reader.take("<B")
@@ -177,13 +193,13 @@ def serialize_export(export: QuantizedExport) -> bytes:
     return b"".join(chunks)
 
 
-def deserialize_export(data: bytes) -> QuantizedExport:
-    """Parse a bitstream produced by :func:`serialize_export`.
+def read_export(reader: ByteReader) -> QuantizedExport:
+    """Parse the CQW1 magic + layer frames at the reader's cursor.
 
-    The unquantized-layer accounting is not stored in the stream (it is
-    a reporting figure, not deployable payload), so it reads back as 0.
+    The cursor is left on the first byte after the frames, so container
+    formats can append (and then parse) trailing sections — the serving
+    artifact (:mod:`repro.serve.artifact`) appends a model sidecar.
     """
-    reader = _Reader(bytes(data))
     if reader.take_bytes(4) != MAGIC:
         raise ValueError("not a CQW1 bitstream")
     (layer_count,) = reader.take("<I")
@@ -192,6 +208,17 @@ def deserialize_export(data: bytes) -> QuantizedExport:
         layer = _unpack_layer(reader)
         export.layers[layer.name] = layer
     return export
+
+
+def deserialize_export(data: bytes) -> QuantizedExport:
+    """Parse a bitstream produced by :func:`serialize_export`.
+
+    The unquantized-layer accounting is not stored in the stream (it is
+    a reporting figure, not deployable payload), so it reads back as 0.
+    Trailing bytes after the layer frames are ignored (containers may
+    append sidecar sections).
+    """
+    return read_export(ByteReader(bytes(data)))
 
 
 def write_bitstream(export: QuantizedExport, path) -> int:

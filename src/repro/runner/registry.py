@@ -173,5 +173,52 @@ def budget_sweep_units(
     return units
 
 
+def serve_replay_units(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    scale: str = "tiny",
+    seeds: Sequence[int] = (0,),
+    bits: Sequence[int] = (2,),
+    requests: int = 64,
+    concurrency: int = 4,
+    batch_window_ms: float = 2.0,
+    max_batch_size: int = 16,
+) -> List[UnitSpec]:
+    """One serving-benchmark unit per ``(bits, seed)`` grid point.
+
+    Targets :func:`repro.serve.replay.run_point`: serve a
+    uniform-``bits`` CQW1 artifact of the pretrained preset under a
+    concurrent request replay (micro-batched vs sequential) and archive
+    the throughput/latency report, so sweeps can include serving
+    benchmarks next to accuracy grids.
+    """
+    units = []
+    for bit in bits:
+        for seed in seeds:
+            units.append(
+                UnitSpec(
+                    name=(
+                        f"serve-replay-{model}-{dataset}-{scale}"
+                        f"-b{int(bit)}-s{int(seed)}"
+                    ),
+                    target="repro.serve.replay:run_point",
+                    params={
+                        "model": model,
+                        "dataset": dataset,
+                        "scale": scale,
+                        "seed": int(seed),
+                        "bits": int(bit),
+                        "requests": int(requests),
+                        "concurrency": int(concurrency),
+                        "batch_window_ms": float(batch_window_ms),
+                        "max_batch_size": int(max_batch_size),
+                    },
+                    render="repro.serve.replay:render",
+                )
+            )
+    return units
+
+
 register_unit_factory("figures", figure_units)
 register_unit_factory("budget-sweep", budget_sweep_units)
+register_unit_factory("serve-replay", serve_replay_units)

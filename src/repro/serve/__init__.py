@@ -1,0 +1,73 @@
+"""repro.serve — batched artifact-serving inference.
+
+Closes the search → export → pack → **serve** loop: a CQW1 artifact
+(written by ``repro quantize --save-artifact``) is loaded through a
+content-hash-keyed LRU cache (:mod:`~repro.serve.artifact`), its
+mixed-precision model reconstructed bit-exactly from the integer codes,
+and served by an :class:`~repro.serve.engine.InferenceEngine` whose
+dynamic micro-batching coalesces concurrent requests into shared
+forwards. :class:`~repro.serve.session.ServingSession` is the
+synchronous facade; :mod:`~repro.serve.replay` generates request-replay
+load and the sweepable ``serve-replay`` benchmark unit.
+
+Design doc: ``docs/architecture.md`` (Serving section).
+"""
+
+from repro.serve.artifact import (
+    DEFAULT_CACHE,
+    ArtifactCache,
+    ArtifactCacheStats,
+    ArtifactManifest,
+    ServingArtifact,
+    artifact_from_result,
+    artifact_from_search,
+    build_serving_model,
+    compile_artifact,
+    load_artifact,
+    load_artifact_bytes,
+    save_artifact,
+    serialize_artifact,
+)
+from repro.serve.engine import (
+    EngineClosed,
+    InferenceEngine,
+    PendingPrediction,
+    RequestCancelled,
+    ServeStats,
+)
+from repro.serve.replay import (
+    ReplayRun,
+    cycle_inputs,
+    render_replay,
+    replay_requests,
+    verify_replay,
+)
+from repro.serve.session import ServeConfig, ServingSession
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactCacheStats",
+    "ArtifactManifest",
+    "DEFAULT_CACHE",
+    "EngineClosed",
+    "InferenceEngine",
+    "PendingPrediction",
+    "ReplayRun",
+    "RequestCancelled",
+    "ServeConfig",
+    "ServeStats",
+    "ServingArtifact",
+    "ServingSession",
+    "artifact_from_result",
+    "artifact_from_search",
+    "build_serving_model",
+    "compile_artifact",
+    "cycle_inputs",
+    "load_artifact",
+    "load_artifact_bytes",
+    "render_replay",
+    "replay_requests",
+    "save_artifact",
+    "serialize_artifact",
+    "verify_replay",
+]

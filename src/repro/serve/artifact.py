@@ -1,0 +1,441 @@
+"""Serving artifacts: the deployable form of a quantized model.
+
+:mod:`repro.quant.packing` frames the integer weight codes as a CQW1
+bitstream — the file whose size *is* the paper's storage figure. This
+module turns that bitstream into something a server can answer
+predictions with:
+
+* **Container.** A serving artifact is a CQW1 bitstream followed by a
+  small *sidecar* section (magic ``CQS1``): a JSON manifest naming the
+  preset architecture (model, dataset, scale, seed, geometry,
+  ``max_bits``/``act_bits``) plus every piece of model state that is
+  *not* quantized weight payload — biases, batch-norm statistics,
+  calibrated activation ranges, the unquantized first/output layers.
+  Plain-CQW1 readers (:func:`repro.quant.packing.read_bitstream`)
+  ignore the sidecar; plain CQW1 files without one are rejected here
+  with a pointer to ``repro quantize --save-artifact``.
+
+* **Reconstruction.** :func:`build_serving_model` rebuilds the preset
+  architecture, loads the sidecar state, overwrites each quantized
+  layer's weight with :meth:`LayerExport.reconstruct` (bit-exact with
+  ``effective_weight`` — the reconstruction mirrors the quantizer's
+  arithmetic) and disables weight fake-quantization: the served model
+  runs forwards straight from the dequantized integer codes, and its
+  predictions are bit-exact with the fake-quantized model's forward on
+  the same inputs. That parity contract is enforced by
+  ``tests/test_serve_parity.py``.
+
+* **Artifact cache.** :class:`ArtifactCache` is a content-hash-keyed
+  LRU over *built* artifacts: loading the same bitstream bytes twice
+  parses and reconstructs once. Note the cached
+  :class:`ServingArtifact` shares one model object — run concurrent
+  engines over distinct sessions of the same artifact only after
+  cloning (see the ROADMAP open item).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.bitmap import BitWidthMap
+from repro.quant.export import (
+    QuantizedExport,
+    export_quantized_weights,
+    verify_export,
+)
+from repro.quant.packing import ByteReader, read_export, serialize_export
+from repro.quant.qmodules import apply_bit_map, quantize_model, quantized_layers
+from repro.utils.misc import clone_module
+
+SIDECAR_MAGIC = b"CQS1"
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclass
+class ArtifactManifest:
+    """Everything needed to rebuild the served architecture.
+
+    ``model``/``scale``/``seed``/geometry feed
+    :func:`repro.experiments.presets.build_preset_model`; ``dataset``
+    names the preset whose replay traffic ``repro serve`` generates;
+    ``extra`` carries free-form report figures (accuracies, budgets).
+    """
+
+    model: str
+    dataset: str = "synth10"
+    scale: str = "tiny"
+    seed: int = 0
+    num_classes: int = 10
+    image_size: int = 16
+    max_bits: int = 4
+    act_bits: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def input_shape(self):
+        """Shape of one request payload (``(3, S, S)`` synth images)."""
+        return (3, self.image_size, self.image_size)
+
+    def to_dict(self) -> Dict[str, object]:
+        extra = {}
+        for key, value in self.extra.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None  # strict-JSON convention of repro.experiments.io
+            extra[str(key)] = value
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "seed": int(self.seed),
+            "num_classes": int(self.num_classes),
+            "image_size": int(self.image_size),
+            "max_bits": int(self.max_bits),
+            "act_bits": None if self.act_bits is None else int(self.act_bits),
+            "extra": extra,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "ArtifactManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(document) - known
+        if unknown:
+            raise ValueError(f"manifest has unknown fields {sorted(unknown)}")
+        return cls(**document)
+
+
+# ----------------------------------------------------------------------
+# Sidecar framing
+# ----------------------------------------------------------------------
+def _serving_state(model: Module) -> "OrderedDict[str, np.ndarray]":
+    """Model state minus the quantized layers' weights.
+
+    Those weights travel as integer codes in the CQW1 frames; storing
+    them again as float64 would defeat the storage claim the bitstream
+    exists to make physical.
+    """
+    quantized = set(quantized_layers(model))
+    state = OrderedDict()
+    for name, value in model.state_dict().items():
+        if name.endswith(".weight") and name[: -len(".weight")] in quantized:
+            continue
+        state[name] = value
+    return state
+
+
+def _pack_sidecar(manifest: ArtifactManifest, state: Dict[str, np.ndarray]) -> bytes:
+    manifest_bytes = json.dumps(
+        manifest.to_dict(), sort_keys=True, allow_nan=False
+    ).encode("utf-8")
+    chunks = [
+        SIDECAR_MAGIC,
+        struct.pack("<I", len(manifest_bytes)),
+        manifest_bytes,
+        struct.pack("<I", len(state)),
+    ]
+    for name, array in state.items():
+        array = np.asarray(array, dtype=np.float64)
+        name_bytes = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(name_bytes)))
+        chunks.append(name_bytes)
+        chunks.append(struct.pack("<B", array.ndim))
+        chunks.append(struct.pack(f"<{array.ndim}I", *array.shape))
+        chunks.append(array.tobytes())
+    return b"".join(chunks)
+
+
+def _unpack_sidecar(reader: ByteReader):
+    if reader.remaining() == 0:
+        raise ValueError(
+            "CQW1 bitstream has no serving sidecar; write one with "
+            "`repro quantize --save-artifact` or save_artifact()"
+        )
+    if reader.take_bytes(4) != SIDECAR_MAGIC:
+        raise ValueError("unknown section after CQW1 frames (expected CQS1 sidecar)")
+    (manifest_len,) = reader.take("<I")
+    manifest = ArtifactManifest.from_dict(
+        json.loads(reader.take_bytes(manifest_len).decode("utf-8"))
+    )
+    (tensor_count,) = reader.take("<I")
+    state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for _ in range(tensor_count):
+        (name_len,) = reader.take("<H")
+        name = reader.take_bytes(name_len).decode("utf-8")
+        (ndim,) = reader.take("<B")
+        shape = reader.take(f"<{ndim}I") if ndim else ()
+        count = int(np.prod(shape)) if shape else 1
+        payload = reader.take_bytes(count * 8)
+        state[name] = np.frombuffer(payload, dtype="<f8").reshape(shape).copy()
+    return manifest, state
+
+
+# ----------------------------------------------------------------------
+# The artifact
+# ----------------------------------------------------------------------
+@dataclass
+class ServingArtifact:
+    """Parsed artifact plus the lazily built serving model."""
+
+    manifest: ArtifactManifest
+    export: QuantizedExport
+    state: Dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    content_key: str = ""
+    """SHA-256 (truncated) of the serialized bytes — the cache identity."""
+
+    nbytes: int = 0
+    data: Optional[bytes] = field(default=None, repr=False)
+    """The exact serialized bytes this artifact was parsed from."""
+
+    _model: Optional[Module] = field(default=None, repr=False)
+
+    def model(self) -> Module:
+        """The reconstructed serving model (built once, then reused)."""
+        if self._model is None:
+            self._model = build_serving_model(self)
+        return self._model
+
+    def save(self, path: PathLike) -> int:
+        """Write the artifact's serialized bytes to ``path``.
+
+        Byte-identical with what was parsed (same content key), so a
+        compiled artifact can be persisted without re-serializing.
+        """
+        if self.data is None:
+            raise ValueError("artifact holds no serialized bytes")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.data)
+        return len(self.data)
+
+
+def serialize_artifact(
+    model: Module, manifest: ArtifactManifest, verify: bool = True
+) -> bytes:
+    """Frame a quantized model as CQW1 frames + serving sidecar."""
+    export = export_quantized_weights(model)
+    if verify:
+        verify_export(model, export, strict=True)
+    return serialize_export(export) + _pack_sidecar(manifest, _serving_state(model))
+
+
+def save_artifact(
+    path: PathLike, model: Module, manifest: ArtifactManifest, verify: bool = True
+) -> int:
+    """Write a serving artifact to ``path``; returns the byte count."""
+    data = serialize_artifact(model, manifest, verify=verify)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    return len(data)
+
+
+def load_artifact_bytes(data: bytes) -> ServingArtifact:
+    """Parse serialized artifact bytes (CQW1 frames + CQS1 sidecar)."""
+    data = bytes(data)
+    reader = ByteReader(data)
+    export = read_export(reader)
+    manifest, state = _unpack_sidecar(reader)
+    return ServingArtifact(
+        manifest=manifest,
+        export=export,
+        state=state,
+        content_key=hashlib.sha256(data).hexdigest()[:16],
+        nbytes=len(data),
+        data=data,
+    )
+
+
+def load_artifact(path: PathLike) -> ServingArtifact:
+    """Read and parse a serving artifact file (uncached; see ArtifactCache)."""
+    return load_artifact_bytes(Path(path).read_bytes())
+
+
+def build_serving_model(artifact: ServingArtifact) -> Module:
+    """Reconstruct the mixed-precision model behind an artifact.
+
+    The returned model is in ``eval()`` mode with weight
+    fake-quantization **disabled**: each quantized layer's weight holds
+    the dequantized codes directly, which is bit-exact with the
+    fake-quantized forward (see the module docstring's parity contract).
+    Activation quantization stays active, driven by the calibrated
+    ranges from the sidecar.
+    """
+    manifest = artifact.manifest
+    from repro.experiments.presets import build_preset_model
+
+    model = build_preset_model(
+        manifest.model,
+        num_classes=manifest.num_classes,
+        image_size=manifest.image_size,
+        scale=manifest.scale,
+        seed=manifest.seed,
+    )
+    quantize_model(model, max_bits=manifest.max_bits, act_bits=manifest.act_bits)
+    layers = quantized_layers(model)
+    if set(layers) != set(artifact.export.layers):
+        raise ValueError(
+            f"artifact layers {sorted(artifact.export.layers)} do not match the "
+            f"{manifest.model!r} architecture's quantized layers {sorted(layers)}"
+        )
+    state = dict(artifact.state)
+    for name, layer_export in artifact.export.layers.items():
+        if tuple(layer_export.weight_shape) != tuple(layers[name].weight.shape):
+            raise ValueError(
+                f"layer {name!r}: artifact shape {layer_export.weight_shape} vs "
+                f"model shape {tuple(layers[name].weight.shape)}"
+            )
+        state[f"{name}.weight"] = layer_export.reconstruct()
+    model.load_state_dict(state, strict=True)
+    for layer in layers.values():
+        layer.weight_quant_enabled = False  # weights already hold the codes' values
+    model.eval()
+    return model
+
+
+# ----------------------------------------------------------------------
+# Compilation from pipeline outputs
+# ----------------------------------------------------------------------
+def compile_artifact(
+    model: Module, manifest: ArtifactManifest, verify: bool = True
+) -> ServingArtifact:
+    """In-memory compile: serialize then parse, so the content key (and
+    every load-path check) matches a save/load round trip exactly."""
+    return load_artifact_bytes(serialize_artifact(model, manifest, verify=verify))
+
+
+def artifact_from_result(
+    result,
+    model_name: str,
+    dataset_name: str,
+    dataset,
+    scale: str = "tiny",
+    seed: int = 0,
+    extra: Optional[Dict[str, object]] = None,
+) -> ServingArtifact:
+    """Compile a :class:`~repro.core.pipeline.CQResult` into an artifact."""
+    if result.config is None:
+        raise ValueError(
+            "CQResult carries no config (hand-built result?); construct an "
+            "ArtifactManifest yourself and use compile_artifact()"
+        )
+    figures = {
+        "average_bits": float(result.average_bits),
+        "accuracy_fp": float(result.accuracy_fp),
+        "accuracy_after_refine": float(result.accuracy_after_refine),
+    }
+    figures.update(extra or {})
+    manifest = ArtifactManifest(
+        model=model_name,
+        dataset=dataset_name,
+        scale=scale,
+        seed=seed,
+        num_classes=dataset.num_classes,
+        image_size=dataset.config.image_size,
+        max_bits=result.config.max_bits,
+        act_bits=result.config.act_bits,
+        extra=figures,
+    )
+    return compile_artifact(result.model, manifest)
+
+
+def artifact_from_search(
+    model: Module, search, manifest: ArtifactManifest
+) -> ServingArtifact:
+    """Compile a float model + search result (or bare bit map) directly.
+
+    Skips refinement: the artifact holds the searched arrangement
+    applied to the pre-trained weights — the pre-refinement deployment.
+    """
+    bit_map = search if isinstance(search, BitWidthMap) else search.bit_map
+    student = clone_module(model)
+    quantize_model(student, max_bits=manifest.max_bits, act_bits=manifest.act_bits)
+    apply_bit_map(student, bit_map)
+    return compile_artifact(student, manifest)
+
+
+# ----------------------------------------------------------------------
+# Content-hash-keyed LRU artifact cache
+# ----------------------------------------------------------------------
+@dataclass
+class ArtifactCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"artifact cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.evictions} evictions"
+        )
+
+
+class ArtifactCache:
+    """LRU cache of built serving artifacts, keyed by content hash.
+
+    The key is the SHA-256 of the serialized bytes, so identical
+    bitstreams are recognised wherever they live on disk. A miss parses
+    the artifact **and** eagerly builds its serving model, so a hit is
+    genuinely free — no re-quantization, no reconstruction.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = ArtifactCacheStats()
+        self._entries: "OrderedDict[str, ServingArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def load(self, path: PathLike) -> ServingArtifact:
+        """Load ``path`` through the cache."""
+        return self.load_bytes(Path(path).read_bytes())
+
+    def load_bytes(self, data: bytes) -> ServingArtifact:
+        key = hashlib.sha256(bytes(data)).hexdigest()[:16]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        artifact = load_artifact_bytes(data)
+        artifact.model()  # build eagerly so cache hits skip reconstruction
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:  # lost a race; keep the first build
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return existing
+            self._entries[key] = artifact
+            self.stats.misses += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return artifact
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Process-wide default cache used by :class:`repro.serve.session.ServingSession`
+#: when constructed from a path.
+DEFAULT_CACHE = ArtifactCache()

@@ -1,0 +1,433 @@
+"""Batched artifact-serving inference engine.
+
+:class:`InferenceEngine` owns a model and a thread-safe request queue
+drained by a single worker thread with **dynamic micro-batching**:
+requests arriving within ``batch_window_s`` of each other are coalesced
+(up to ``max_batch_size``) into one forward pass, amortizing the
+per-forward cost of the numpy stack across requests exactly the way the
+incremental evaluator amortizes it across search queries. Under
+saturation the window never delays anything — the worker only waits
+when the queue is empty and the open batch is not full.
+
+Correctness contract (the serving twin of the evaluator's bit-exact
+contract): a request's prediction is **bit-exact** with running the
+model directly on the batch the engine executed it in. With
+``record_batches=True`` the engine keeps the request-id composition of
+every executed batch so tests and ``repro serve --verify`` can replay
+them and compare bitwise (`tests/test_serve_parity.py`).
+
+Threading model: the worker thread is the only thread that touches the
+model; ``submit``/``predict`` may be called from any number of threads.
+:class:`ServeStats` mirrors :class:`repro.core.evaluator.EvalStats` —
+cost and latency counters that ride along with every replay report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, List, Optional, Tuple
+
+#: Latency samples kept for percentile reporting (a bounded recency
+#: window so long-lived servers don't grow per-request state; the
+#: total/max/mean aggregates remain exact over all traffic).
+LATENCY_WINDOW = 4096
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class EngineClosed(RuntimeError):
+    """Raised when submitting to (or restarting) a closed engine."""
+
+
+class RequestCancelled(RuntimeError):
+    """Raised from ``result()`` when the engine shut down without
+    running the request (``close(drain=False)``)."""
+
+
+@dataclass
+class ServeStats:
+    """Cost and latency counters of one engine (mirrors ``EvalStats``)."""
+
+    requests: int = 0
+    """Requests submitted (completed + failed + cancelled + pending)."""
+
+    completed: int = 0
+    """Requests answered with a prediction."""
+
+    errors: int = 0
+    """Requests that failed (forward raised, e.g. shape mismatch)."""
+
+    cancelled: int = 0
+    """Requests dropped by a non-draining shutdown."""
+
+    forwards: int = 0
+    """Model executions (one per batch, full or singleton)."""
+
+    coalesced_forwards: int = 0
+    """Forwards that served more than one request."""
+
+    batched_requests: int = 0
+    """Requests served by coalesced forwards."""
+
+    max_batch_seen: int = 0
+    max_queue_depth: int = 0
+    """Deepest queue observed at submit time."""
+
+    total_forward_s: float = 0.0
+    total_latency_s: float = 0.0
+    """Summed submit-to-answer latency of completed requests."""
+
+    max_latency_s: float = 0.0
+    latencies_s: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
+    """Latency samples of the most recent completed requests (bounded
+    to :data:`LATENCY_WINDOW`, completion order)."""
+
+    @property
+    def served(self) -> int:
+        """Requests that went through a forward (completed + errors)."""
+        return self.completed + self.errors
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean batch occupancy — the amortization factor."""
+        return self.served / self.forwards if self.forwards else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (seconds) over the recent sample window."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def snapshot(self) -> "ServeStats":
+        """Immutable copy (the live counters keep accumulating)."""
+        return replace(
+            self,
+            latencies_s=deque(self.latencies_s, maxlen=self.latencies_s.maxlen),
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"requests: {self.requests} ({self.completed} completed, "
+            f"{self.errors} errors, {self.cancelled} cancelled)",
+            f"forwards: {self.forwards} "
+            f"(mean batch {self.mean_batch_size:.2f}, max {self.max_batch_seen}, "
+            f"{self.coalesced_forwards} coalesced)",
+            f"queue depth max: {self.max_queue_depth}",
+            f"latency: mean {self.mean_latency_s * 1e3:.2f} ms, "
+            f"p95 {self.latency_percentile(95) * 1e3:.2f} ms, "
+            f"max {self.max_latency_s * 1e3:.2f} ms",
+            f"forward wall: {self.total_forward_s:.3f} s",
+        ]
+        return "\n".join(lines)
+
+
+class PendingPrediction:
+    """Handle to one in-flight request (a minimal synchronous future)."""
+
+    __slots__ = ("request_id", "latency_s", "_event", "_value", "_error")
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self.latency_s: Optional[float] = None
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the prediction is ready; re-raises failures."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not answered within {timeout} s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _finish(self, value=None, error=None, latency_s=None) -> None:
+        self._value = value
+        self._error = error
+        self.latency_s = latency_s
+        self._event.set()
+
+
+class _QueuedRequest:
+    __slots__ = ("rid", "x", "pending", "enqueued_at")
+
+    def __init__(self, rid: int, x: np.ndarray, enqueued_at: float):
+        self.rid = rid
+        self.x = x
+        self.pending = PendingPrediction(rid)
+        self.enqueued_at = enqueued_at
+
+
+class InferenceEngine:
+    """Thread-safe request queue + dynamic micro-batching worker.
+
+    Parameters
+    ----------
+    model:
+        The serving model (switched to ``eval()``; owned by the worker
+        thread from then on).
+    batch_window_s:
+        How long an open, non-full batch waits for more requests. ``0``
+        disables coalescing-by-waiting (queued requests still coalesce).
+    max_batch_size:
+        Hard batch-size cap (``1`` = strictly sequential serving).
+    record_batches:
+        Keep the request-id composition of every executed batch
+        (unbounded growth — enable for tests/verification, not for
+        long-lived servers).
+    autostart:
+        Start the worker thread immediately. Pass ``False`` to queue
+        requests first and :meth:`start` later (deterministic batch
+        composition — the benchmarks use this).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        batch_window_s: float = 0.002,
+        max_batch_size: int = 16,
+        record_batches: bool = False,
+        autostart: bool = True,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if batch_window_s < 0:
+            raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
+        self._model = model
+        model.eval()
+        self.batch_window_s = float(batch_window_s)
+        self.max_batch_size = int(max_batch_size)
+        self._cond = threading.Condition()
+        self._queue: Deque[_QueuedRequest] = deque()
+        self._stats = ServeStats()
+        self._record = record_batches
+        self._batches: List[Tuple[int, ...]] = []
+        self._next_id = 0
+        self._in_flight = 0
+        self._closing = False
+        self._drain_on_close = True
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        with self._cond:
+            if self._closing:
+                raise EngineClosed("engine is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._worker, name="repro-serve-worker", daemon=True
+            )
+            self._thread.start()
+
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down. ``drain=True`` answers every queued request first;
+        ``drain=False`` cancels them. Idempotent."""
+        with self._cond:
+            already_closing = self._closing
+            self._closing = True
+            self._drain_on_close = self._drain_on_close and drain
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+            return
+        if already_closing:
+            return
+        # Never started: settle the queue inline on the caller's thread.
+        while True:
+            with self._cond:
+                if not self._queue:
+                    break
+                if not drain:
+                    request = self._queue.popleft()
+                    self._stats.cancelled += 1
+                else:
+                    request = None
+            if request is not None:
+                request.pending._finish(
+                    error=RequestCancelled("engine closed before the request ran")
+                )
+                continue
+            self._run_batch(self._collect_batch())
+        with self._cond:
+            self._cond.notify_all()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    def submit(self, x) -> PendingPrediction:
+        """Enqueue one input; returns immediately with a handle."""
+        array = np.asarray(x, dtype=np.float64)
+        with self._cond:
+            if self._closing:
+                raise EngineClosed("engine is closed")
+            request = _QueuedRequest(self._next_id, array, time.monotonic())
+            self._next_id += 1
+            self._queue.append(request)
+            self._stats.requests += 1
+            self._stats.max_queue_depth = max(
+                self._stats.max_queue_depth, len(self._queue)
+            )
+            self._cond.notify_all()
+        return request.pending
+
+    def predict(self, x, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous single prediction."""
+        return self.submit(x).result(timeout)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has been answered."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._in_flight:
+                if self._thread is None and not self._closing:
+                    raise RuntimeError(
+                        "drain() on an engine that was never started; call start()"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("drain() timed out")
+                self._cond.wait(remaining)
+
+    @property
+    def stats(self) -> ServeStats:
+        """A consistent snapshot of the live counters."""
+        with self._cond:
+            return self._stats.snapshot()
+
+    @property
+    def records_batches(self) -> bool:
+        """Whether :meth:`executed_batches` is available."""
+        return self._record
+
+    def executed_batches(self) -> List[Tuple[int, ...]]:
+        """Request-id composition of every executed batch
+        (``record_batches=True`` only)."""
+        if not self._record:
+            raise RuntimeError("engine was created with record_batches=False")
+        with self._cond:
+            return list(self._batches)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closing:
+                    self._cond.wait()
+                if not self._queue:  # closing with an empty queue
+                    break
+                if self._closing and not self._drain_on_close:
+                    while self._queue:
+                        request = self._queue.popleft()
+                        self._stats.cancelled += 1
+                        request.pending._finish(
+                            error=RequestCancelled(
+                                "engine closed before the request ran"
+                            )
+                        )
+                    # Wake drain() waiters: the queue just emptied and no
+                    # further batch completion will notify them.
+                    self._cond.notify_all()
+                    break
+            self._run_batch(self._collect_batch())
+            with self._cond:
+                self._cond.notify_all()
+
+    def _collect_batch(self) -> List[_QueuedRequest]:
+        """Pop one batch: the head request plus everything arriving
+        within the window, capped at ``max_batch_size``."""
+        with self._cond:
+            batch = [self._queue.popleft()]
+            self._in_flight = len(batch)
+        deadline = time.monotonic() + self.batch_window_s
+        while len(batch) < self.max_batch_size:
+            with self._cond:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    self._in_flight = len(batch)
+                    continue
+                if self._closing:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+        return batch
+
+    def _run_batch(self, batch: List[_QueuedRequest]) -> None:
+        started = time.monotonic()
+        outputs = None
+        error: Optional[BaseException] = None
+        try:
+            inputs = np.stack([request.x for request in batch])
+            with no_grad():
+                outputs = self._model(Tensor(inputs)).data
+        except Exception as exc:  # answer the whole batch with the failure
+            error = exc
+        finished = time.monotonic()
+        latencies = [finished - request.enqueued_at for request in batch]
+        # Answer the requests before announcing completion: a drain()
+        # waiter woken by the notify below must observe finished futures.
+        for index, request in enumerate(batch):
+            if error is not None:
+                request.pending._finish(error=error, latency_s=latencies[index])
+            else:
+                request.pending._finish(
+                    value=outputs[index].copy(), latency_s=latencies[index]
+                )
+        with self._cond:
+            self._stats.forwards += 1
+            self._stats.total_forward_s += finished - started
+            self._stats.max_batch_seen = max(self._stats.max_batch_seen, len(batch))
+            if len(batch) > 1:
+                self._stats.coalesced_forwards += 1
+                self._stats.batched_requests += len(batch)
+            if self._record:
+                self._batches.append(tuple(request.rid for request in batch))
+            if error is not None:
+                self._stats.errors += len(batch)
+            else:
+                self._stats.completed += len(batch)
+                for latency in latencies:
+                    self._stats.latencies_s.append(latency)
+                    self._stats.total_latency_s += latency
+                    self._stats.max_latency_s = max(self._stats.max_latency_s, latency)
+            self._in_flight = 0
+            self._cond.notify_all()

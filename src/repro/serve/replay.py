@@ -1,0 +1,301 @@
+"""Request-replay load generation and the sweepable serving benchmark.
+
+:func:`replay_requests` drives a :class:`ServingSession` with
+``concurrency`` client threads replaying a fixed input sequence and
+returns a JSON-able throughput/latency payload plus the raw outputs.
+:func:`verify_replay` re-runs the engine's recorded batches through the
+model directly and checks the answers bitwise — the parity contract of
+:mod:`repro.serve.engine`, exercised from the CLI via
+``repro serve``.
+
+:func:`run_point` packages the whole thing (pretrained preset →
+uniform-bit artifact → batched replay vs sequential baseline) as a
+runner unit, registered as the ``serve-replay`` family in
+:mod:`repro.runner.registry`, so sweeps can include serving benchmarks
+alongside accuracy grids.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.artifact import ArtifactManifest, ServingArtifact, compile_artifact
+from repro.serve.session import ServeConfig, ServingSession
+
+
+@dataclass
+class ReplayRun:
+    """One replay: the JSON-able report plus raw per-request data."""
+
+    payload: Dict[str, object]
+    outputs: np.ndarray = field(repr=False)
+    """Logits, row ``i`` answering ``inputs[i]``."""
+
+    request_ids: List[int] = field(default_factory=list, repr=False)
+    """Engine request id of each input row (for batch replay)."""
+
+
+def cycle_inputs(images: np.ndarray, count: int) -> np.ndarray:
+    """The replay trace: the first ``count`` images, cycling if short."""
+    if len(images) == 0:
+        raise ValueError("no images to replay")
+    if count < 1:
+        raise ValueError(f"replay needs at least one request, got {count}")
+    indices = np.arange(count) % len(images)
+    return np.asarray(images)[indices]
+
+
+def replay_requests(
+    session: ServingSession,
+    inputs: np.ndarray,
+    concurrency: int = 4,
+) -> ReplayRun:
+    """Replay ``inputs`` through ``session`` from ``concurrency`` threads.
+
+    Client ``c`` replays rows ``c, c + concurrency, ...`` sequentially
+    (one outstanding request per client, like a synchronous caller), so
+    micro-batches can only form across clients — the honest serving
+    scenario. Throughput and latency figures come from the engine's
+    :class:`~repro.serve.engine.ServeStats` delta over the replay.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    # Cast once, up front: the engine serves float64, and the parity
+    # check must replay the same bytes the engine saw.
+    inputs = np.asarray(inputs, dtype=np.float64)
+    count = len(inputs)
+    if count < 1:
+        raise ValueError("replay needs at least one request")
+    outputs: List[Optional[np.ndarray]] = [None] * count
+    request_ids: List[int] = [-1] * count
+    latencies = np.zeros(count)
+    failures: List[BaseException] = []
+    engine = session.engine
+    batches_before = len(engine.executed_batches()) if engine.records_batches else 0
+    before = session.stats
+
+    def client(offset: int) -> None:
+        try:
+            for index in range(offset, count, concurrency):
+                pending = session.submit(inputs[index])
+                request_ids[index] = pending.request_id
+                outputs[index] = pending.result()
+                latencies[index] = pending.latency_s
+        except BaseException as exc:  # surfaced to the caller below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(offset,), name=f"replay-client-{offset}")
+        for offset in range(min(concurrency, count))
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.monotonic() - started
+    if failures:
+        raise failures[0]
+    after = session.stats
+
+    forwards = after.forwards - before.forwards
+    served = after.served - before.served
+    if engine.records_batches:
+        replay_batches = engine.executed_batches()[batches_before:]
+        max_batch = max((len(batch) for batch in replay_batches), default=0)
+    else:
+        # Engine-lifetime high-water mark — exact when this replay is
+        # the session's only traffic (the CLI/run_point case).
+        max_batch = after.max_batch_seen
+    payload = {
+        "requests": count,
+        "concurrency": int(concurrency),
+        "wall_s": float(wall_s),
+        "throughput_rps": float(count / wall_s) if wall_s > 0 else 0.0,
+        "forwards": int(forwards),
+        "mean_batch_size": float(served / forwards) if forwards else 0.0,
+        "max_batch_seen": int(max_batch),
+        "latency_ms": {
+            "mean": float(latencies.mean() * 1e3),
+            "p50": float(np.percentile(latencies, 50) * 1e3),
+            "p95": float(np.percentile(latencies, 95) * 1e3),
+            "max": float(latencies.max() * 1e3),
+        },
+    }
+    return ReplayRun(
+        payload=payload,
+        outputs=np.stack(outputs),
+        request_ids=request_ids,
+    )
+
+
+def verify_replay(session: ServingSession, inputs: np.ndarray, run: ReplayRun) -> int:
+    """Bit-exact parity check: re-run every recorded batch directly.
+
+    Requires the session's engine to record batches
+    (``ServeConfig(record_batches=True)``). Each executed batch is
+    replayed through the model in one forward — the same computation the
+    engine performed — and compared to the served answers **bitwise**.
+    Returns the number of verified requests; raises ``AssertionError``
+    on the first mismatch. Batches that also carried non-replay traffic
+    (e.g. a ``warmup`` request whose input this function cannot know)
+    are skipped, so compare the return value against your request count
+    to detect partial coverage.
+    """
+    from repro.tensor.tensor import Tensor, no_grad
+
+    inputs = np.asarray(inputs, dtype=np.float64)  # what the engine served
+    index_of = {rid: i for i, rid in enumerate(run.request_ids)}
+    model = session.model
+    verified = 0
+    for batch in session.engine.executed_batches():
+        rows = [index_of[rid] for rid in batch if rid in index_of]
+        if len(rows) != len(batch):
+            continue  # batch contains non-replay traffic (e.g. warmup)
+        with no_grad():
+            reference = model(Tensor(np.stack([inputs[row] for row in rows]))).data
+        for position, row in enumerate(rows):
+            if not np.array_equal(run.outputs[row], reference[position]):
+                raise AssertionError(
+                    f"request {run.request_ids[row]} (input row {row}) is not "
+                    f"bit-exact with the model's forward on its executed batch"
+                )
+            verified += 1
+    return verified
+
+
+def render_replay(payload: Dict[str, object], title: str = "replay") -> str:
+    """One-paragraph human rendering of a replay payload."""
+    latency = payload["latency_ms"]
+    return (
+        f"{title}: {payload['requests']} requests x{payload['concurrency']} clients "
+        f"in {payload['wall_s']:.3f} s -> {payload['throughput_rps']:.1f} req/s | "
+        f"{payload['forwards']} forwards (mean batch {payload['mean_batch_size']:.2f}, "
+        f"max {payload['max_batch_seen']}) | latency ms: "
+        f"mean {latency['mean']:.2f}, p50 {latency['p50']:.2f}, "
+        f"p95 {latency['p95']:.2f}, max {latency['max']:.2f}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweepable unit (registered as the "serve-replay" family)
+# ----------------------------------------------------------------------
+def build_uniform_artifact(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    scale: str = "tiny",
+    seed: int = 0,
+    bits: int = 2,
+) -> ServingArtifact:
+    """A serving artifact for a pretrained preset at uniform ``bits``.
+
+    Serving cost does not depend on *which* arrangement the search
+    found, so the benchmark unit skips the search/refine phases and
+    quantizes the cached pretrained model uniformly.
+    """
+    from repro.experiments.presets import get_pretrained
+    from repro.quant.qmodules import quantize_model, quantized_layers
+    from repro.utils.misc import clone_module
+
+    base, data, _accuracy = get_pretrained(model, dataset, scale=scale, seed=seed)
+    student = clone_module(base)
+    max_bits = max(4, int(bits))
+    quantize_model(student, max_bits=max_bits)
+    for layer in quantized_layers(student).values():
+        layer.set_bits(np.full(layer.num_filters, int(bits), dtype=np.int64))
+    manifest = ArtifactManifest(
+        model=model,
+        dataset=dataset,
+        scale=scale,
+        seed=seed,
+        num_classes=data.num_classes,
+        image_size=data.config.image_size,
+        max_bits=max_bits,
+        act_bits=None,
+        extra={"uniform_bits": int(bits)},
+    )
+    return compile_artifact(student, manifest)
+
+
+def run_point(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    scale: str = "tiny",
+    seed: int = 0,
+    bits: int = 2,
+    requests: int = 64,
+    concurrency: int = 4,
+    batch_window_ms: float = 2.0,
+    max_batch_size: int = 16,
+    compare_sequential: bool = True,
+) -> Dict[str, object]:
+    """One serving-benchmark grid point (a runner-unit target).
+
+    Serves a uniform-``bits`` artifact of the pretrained preset under a
+    concurrent replay, optionally against a sequential
+    (``max_batch_size=1``) baseline, and returns the JSON-able report.
+    """
+    from repro.experiments.presets import get_dataset
+
+    artifact = build_uniform_artifact(
+        model=model, dataset=dataset, scale=scale, seed=seed, bits=bits
+    )
+    data = get_dataset(dataset, scale=scale, seed=seed)
+    inputs = cycle_inputs(data.test_images, requests)
+
+    def one_replay(window_s: float, batch_cap: int) -> Dict[str, object]:
+        session = ServingSession(
+            artifact,
+            config=ServeConfig(
+                batch_window_s=window_s,
+                max_batch_size=batch_cap,
+                record_batches=True,
+            ),
+        )
+        try:
+            run = replay_requests(session, inputs, concurrency=concurrency)
+            run.payload["verified_requests"] = int(
+                verify_replay(session, inputs, run)
+            )
+            return run.payload
+        finally:
+            session.close()
+
+    batched = one_replay(batch_window_ms / 1e3, max_batch_size)
+    payload: Dict[str, object] = {
+        "model": model,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": int(seed),
+        "bits": int(bits),
+        "batched": batched,
+    }
+    if compare_sequential:
+        sequential = one_replay(0.0, 1)
+        payload["sequential"] = sequential
+        if batched["wall_s"] > 0:
+            payload["speedup"] = float(sequential["wall_s"] / batched["wall_s"])
+    return payload
+
+
+def render(payload: Dict[str, object]) -> str:
+    """Human rendering of a :func:`run_point` payload."""
+    lines = [
+        f"serve replay — {payload['model']} on {payload['dataset']} "
+        f"({payload['scale']}, uniform {payload['bits']} bits, seed {payload['seed']})",
+        render_replay(payload["batched"], title="micro-batched"),
+    ]
+    if "sequential" in payload:
+        lines.append(render_replay(payload["sequential"], title="sequential"))
+    if "speedup" in payload:
+        lines.append(f"micro-batching speedup: x{payload['speedup']:.2f}")
+    lines.append(
+        "parity: "
+        f"{payload['batched'].get('verified_requests', 0)} requests bit-exact"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Synchronous serving facade suitable for embedding.
+
+:class:`ServingSession` wires an artifact (path, parsed
+:class:`~repro.serve.artifact.ServingArtifact`, or bare model) to an
+:class:`~repro.serve.engine.InferenceEngine` and exposes the blocking
+calls an application wants: ``predict`` / ``predict_batch`` /
+``predict_labels``, ``warmup``, graceful ``drain``/``close`` and a
+context-manager protocol. Paths are loaded through the process-wide
+content-hash artifact cache, so sessions opened one after another over
+the same bitstream reconstruct the model once.
+
+Caveat: cached artifacts hand every session the **same** model object,
+and each engine's worker thread assumes exclusive ownership of it — so
+do not run two sessions over one cached artifact *concurrently*; build
+a private model per extra concurrent session with
+:func:`~repro.serve.artifact.build_serving_model` (copy-on-lease in
+the cache is a ROADMAP open item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.serve.artifact import DEFAULT_CACHE, ArtifactCache, ServingArtifact
+from repro.serve.engine import InferenceEngine, PendingPrediction, ServeStats
+
+
+@dataclass
+class ServeConfig:
+    """Engine knobs of a session (see :class:`InferenceEngine`)."""
+
+    batch_window_s: float = 0.002
+    max_batch_size: int = 16
+    record_batches: bool = False
+    autostart: bool = True
+
+
+class ServingSession:
+    """Blocking facade over one engine serving one artifact.
+
+    ``source`` may be an artifact file path (loaded through ``cache``,
+    default the process-wide :data:`~repro.serve.artifact.DEFAULT_CACHE`),
+    an already-loaded :class:`ServingArtifact`, or a bare model for
+    ad-hoc serving (``warmup`` then needs an explicit example input).
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, ServingArtifact, Module],
+        config: Optional[ServeConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+    ):
+        config = config if config is not None else ServeConfig()
+        self.config = config
+        if isinstance(source, (str, Path)):
+            source = (cache if cache is not None else DEFAULT_CACHE).load(source)
+        if isinstance(source, ServingArtifact):
+            self.artifact: Optional[ServingArtifact] = source
+            model = source.model()
+        elif isinstance(source, Module):
+            self.artifact = None
+            model = source
+        else:
+            raise TypeError(
+                f"source must be a path, ServingArtifact or Module, got {type(source)}"
+            )
+        self._model = model
+        self._engine = InferenceEngine(
+            model,
+            batch_window_s=config.batch_window_s,
+            max_batch_size=config.max_batch_size,
+            record_batches=config.record_batches,
+            autostart=config.autostart,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> InferenceEngine:
+        return self._engine
+
+    @property
+    def model(self) -> Module:
+        """The served model (owned by the engine's worker thread)."""
+        return self._model
+
+    @property
+    def stats(self) -> ServeStats:
+        return self._engine.stats
+
+    # ------------------------------------------------------------------
+    def submit(self, x) -> PendingPrediction:
+        """Asynchronous enqueue (see :meth:`InferenceEngine.submit`)."""
+        return self._engine.submit(x)
+
+    def predict(self, x, timeout: Optional[float] = None) -> np.ndarray:
+        """Logits for one example (blocking)."""
+        return self._engine.predict(x, timeout=timeout)
+
+    def predict_batch(self, xs, timeout: Optional[float] = None) -> np.ndarray:
+        """Logits for a batch, one request per row so rows coalesce.
+
+        Row order is preserved regardless of how the engine batched the
+        requests.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim < 2:
+            raise ValueError(
+                f"predict_batch expects a batch (ndim >= 2), got shape {xs.shape}"
+            )
+        pendings = [self._engine.submit(row) for row in xs]
+        return np.stack([pending.result(timeout) for pending in pendings])
+
+    def predict_labels(self, xs, timeout: Optional[float] = None) -> np.ndarray:
+        """Argmax class per row of a batch."""
+        return self.predict_batch(xs, timeout=timeout).argmax(axis=1)
+
+    def warmup(self, x=None, count: int = 1) -> None:
+        """Run ``count`` throwaway predictions to prime lazy state.
+
+        Without an explicit example input, a zero image of the
+        manifest's input shape is used (artifact-backed sessions only).
+        """
+        if x is None:
+            if self.artifact is None:
+                raise ValueError(
+                    "warmup of a bare-model session needs an example input"
+                )
+            x = np.zeros(self.artifact.manifest.input_shape)
+        for _ in range(max(1, count)):
+            self._engine.predict(x)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._engine.start()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every in-flight request has been answered."""
+        self._engine.drain(timeout=timeout)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the engine down (gracefully by default). Idempotent."""
+        self._engine.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

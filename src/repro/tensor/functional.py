@@ -127,7 +127,10 @@ def conv2d(
 
     cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, OH*OW)
     w2 = weight.data.reshape(c_out, -1)  # (F, C*KH*KW)
-    out = np.einsum("fk,nko->nfo", w2, cols, optimize=True)
+    # Broadcast matmul, not einsum: same contraction, but matmul skips
+    # einsum's dispatch overhead (~3x on this shape), which is what
+    # batched serving (repro.serve) amortizes across coalesced requests.
+    out = np.matmul(w2, cols)
     if bias is not None:
         out = out + bias.data.reshape(1, -1, 1)
     out = out.reshape(n, c_out, oh, ow)
@@ -161,11 +164,13 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> 
 
     flat = x.data.reshape(n * c, 1, h, w)
     cols = im2col(flat, kernel, stride, (0, 0))  # (N*C, KH*KW, OH*OW)
-    arg = cols.argmax(axis=1)  # (N*C, OH*OW)
-    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
-    out = out.reshape(n, c, oh, ow)
+    out = cols.max(axis=1).reshape(n, c, oh, ow)
 
     def backward(grad):
+        # The winner indices are only needed for the gradient, so they
+        # are recomputed lazily here — eval/no_grad forwards (search
+        # evaluator, serving engine) never pay the argmax.
+        arg = cols.argmax(axis=1)  # (N*C, OH*OW)
         grad_flat = grad.reshape(n * c, 1, oh * ow)
         grad_cols = np.zeros_like(cols)
         np.put_along_axis(grad_cols, arg[:, None, :], grad_flat, axis=1)

@@ -15,6 +15,50 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture
+def quantized_mlp_factory():
+    """Factory for cheap (untrained) quantized MLP presets + manifests.
+
+    Returns ``(model, manifest)`` pairs whose architecture matches
+    ``build_preset_model`` exactly, so serving artifacts compiled from
+    them load back — the serve tests' workhorse.
+    """
+    from repro.experiments.presets import build_preset_model
+    from repro.quant.qmodules import (
+        calibrate_activations,
+        quantize_model,
+        quantized_layers,
+    )
+    from repro.serve import ArtifactManifest
+
+    def build(act_bits=None, seed=1, bits_seed=0, num_classes=4, image_size=8):
+        model = build_preset_model(
+            "mlp", num_classes=num_classes, image_size=image_size,
+            scale="tiny", seed=seed,
+        )
+        quantize_model(model, max_bits=4, act_bits=act_bits)
+        bits_rng = np.random.default_rng(bits_seed)
+        for layer in quantized_layers(model).values():
+            layer.set_bits(bits_rng.integers(0, 5, size=layer.num_filters))
+        if act_bits is not None:
+            calibration = bits_rng.standard_normal((16, 3, image_size, image_size))
+            calibrate_activations(model, [calibration])
+        model.eval()
+        manifest = ArtifactManifest(
+            model="mlp",
+            dataset="synth10",
+            scale="tiny",
+            seed=seed,
+            num_classes=num_classes,
+            image_size=image_size,
+            max_bits=4,
+            act_bits=act_bits,
+        )
+        return model, manifest
+
+    return build
+
+
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small, easily separable 4-class dataset (session-cached)."""

@@ -47,6 +47,16 @@ class TestListingCommands:
         with pytest.raises(SystemExit):
             main(["sweep", "--model", "alexnet"])
 
+    def test_serve_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_predict_requires_artifact_and_input(self):
+        with pytest.raises(SystemExit):
+            main(["predict"])
+        with pytest.raises(SystemExit):
+            main(["predict", "--artifact", "model.cqw"])
+
 
 class TestFigureAll:
     def test_figure_requires_number_or_all(self, capsys):
@@ -90,6 +100,89 @@ class TestSweepArguments:
     def test_empty_seed_grid_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--seeds", ","])
+
+
+@pytest.fixture
+def preset_artifact(tmp_path, quantized_mlp_factory):
+    """A serving artifact of an untrained tiny-scale MLP preset on disk.
+
+    The geometry matches the ``synth10``/``tiny`` preset exactly, so
+    ``repro serve`` can regenerate replay traffic from the manifest —
+    without the (slow) pretrain+pipeline producer path.
+    """
+    from repro.experiments.presets import get_scale
+    from repro.serve import save_artifact
+
+    model, manifest = quantized_mlp_factory(
+        seed=0, bits_seed=5, num_classes=10, image_size=get_scale("tiny").image_size
+    )
+    path = tmp_path / "mlp.cqw"
+    save_artifact(path, model, manifest)
+    return path
+
+
+class TestServeCommand:
+    def test_serve_replays_verifies_and_reports_cache(self, capsys, preset_artifact):
+        code = main(
+            [
+                "serve",
+                "--artifact", str(preset_artifact),
+                "--requests", "8",
+                "--concurrency", "2",
+                "--repeat", "2",
+                "--max-batch", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round 1: 8 requests" in out
+        assert "round 2: 8 requests" in out
+        assert out.count("parity: OK (8 requests bit-exact)") == 2
+        # Second engine start hits the content-hash artifact cache.
+        assert "artifact cache: 1 hits, 1 misses" in out
+
+    def test_serve_missing_artifact_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["serve", "--artifact", str(tmp_path / "nope.cqw")])
+
+
+class TestPredictCommand:
+    def test_predict_batch_from_npz(self, capsys, preset_artifact, tmp_path):
+        rng = np.random.default_rng(0)
+        batch = tmp_path / "batch.npz"
+        np.savez(batch, images=rng.standard_normal((3, 3, 16, 16)))
+        out_path = tmp_path / "predictions.npz"
+        code = main(
+            [
+                "predict",
+                "--artifact", str(preset_artifact),
+                "--input", str(batch),
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sample 0: class" in out
+        assert "predicted 3 samples" in out
+        with np.load(out_path) as archive:
+            assert archive["logits"].shape == (3, 10)
+            assert archive["labels"].shape == (3,)
+
+    def test_predict_missing_key_errors(self, capsys, preset_artifact, tmp_path):
+        batch = tmp_path / "batch.npz"
+        np.savez(batch, pictures=np.zeros((2, 3, 16, 16)), other=np.zeros(3))
+        assert main(
+            ["predict", "--artifact", str(preset_artifact), "--input", str(batch)]
+        ) == 2
+        assert "no array 'images'" in capsys.readouterr().err
+
+    def test_predict_rejects_single_example(self, capsys, preset_artifact, tmp_path):
+        batch = tmp_path / "one.npy"
+        np.save(batch, np.zeros(7))
+        assert main(
+            ["predict", "--artifact", str(preset_artifact), "--input", str(batch)]
+        ) == 2
+        assert "expected a batch" in capsys.readouterr().err
 
 
 @pytest.mark.slow
@@ -200,3 +293,54 @@ class TestQuantizeCommand:
         assert checkpoint.exists()
         with np.load(checkpoint) as archive:
             assert len(archive.files) > 1
+
+
+@pytest.mark.slow
+class TestServeEndToEnd:
+    def test_quantize_save_artifact_then_serve_then_predict(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The full artifact lifecycle: search → export → pack → serve."""
+        import repro.experiments.presets as presets
+
+        monkeypatch.setenv("REPRO_PRETRAINED_CACHE", str(tmp_path / "pretrained"))
+        presets.clear_caches()
+        artifact = tmp_path / "quantized.cqw"
+        code = main(
+            [
+                "quantize",
+                "--model", "mlp",
+                "--dataset", "synth10",
+                "--scale", "tiny",
+                "--bits", "2.0",
+                "--refine-epochs", "1",
+                "--save-artifact", str(artifact),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saved serving artifact" in out
+        assert artifact.exists()
+
+        code = main(
+            [
+                "serve",
+                "--artifact", str(artifact),
+                "--requests", "16",
+                "--concurrency", "4",
+                "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("parity: OK (16 requests bit-exact)") == 2
+        assert "artifact cache: 1 hits, 1 misses" in out
+
+        batch = tmp_path / "batch.npz"
+        dataset = presets.get_dataset("synth10", scale="tiny", seed=0)
+        np.savez(batch, images=dataset.test_images[:4])
+        code = main(
+            ["predict", "--artifact", str(artifact), "--input", str(batch)]
+        )
+        assert code == 0
+        assert "predicted 4 samples" in capsys.readouterr().out

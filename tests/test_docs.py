@@ -84,5 +84,5 @@ def test_cli_help_smoke():
         timeout=120,
     )
     assert result.returncode == 0, result.stderr
-    for command in ("quantize", "figure", "cost", "models", "datasets"):
+    for command in ("quantize", "figure", "cost", "serve", "predict", "models", "datasets"):
         assert command in result.stdout

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.quant.export import export_quantized_weights
+from repro.quant.export import LayerExport, QuantizedExport, export_quantized_weights
 from repro.quant.packing import (
     deserialize_export,
     pack_bits,
@@ -133,6 +133,123 @@ class TestBitstreamRoundTrip:
         data = serialize_export(export)
         with pytest.raises(ValueError, match="truncated"):
             deserialize_export(data[: len(data) // 2])
+
+
+def _layer_round_trip(layer: LayerExport) -> LayerExport:
+    export = QuantizedExport()
+    export.layers[layer.name] = layer
+    restored = deserialize_export(serialize_export(export))
+    return restored.layers[layer.name]
+
+
+class TestBitstreamEdgeCases:
+    """Property-style round trips over the format's awkward corners:
+    mixed bit widths 1-8 with 0-bit pruned filters, non-byte-aligned
+    per-filter payloads, and single-filter layers."""
+
+    @given(
+        bits_per_filter=st.lists(
+            st.integers(min_value=0, max_value=8), min_size=1, max_size=12
+        ),
+        per_filter=st.integers(min_value=1, max_value=11),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_width_round_trip_property(self, bits_per_filter, per_filter, seed):
+        # per_filter values like 3/5/7/9/11 at odd widths make almost
+        # every filter payload end mid-byte (non-byte-aligned).
+        rng = np.random.default_rng(seed)
+        bits = np.asarray(bits_per_filter, dtype=np.int64)
+        codes = [
+            rng.integers(0, 2 ** b, size=per_filter).astype(np.int64)
+            if b > 0
+            else np.zeros(0, dtype=np.int64)
+            for b in bits
+        ]
+        layer = LayerExport(
+            name="layer",
+            lower=-1.25,
+            upper=1.25,
+            bits_per_filter=bits,
+            codes=codes,
+            weight_shape=(len(bits), per_filter),
+        )
+        restored = _layer_round_trip(layer)
+        np.testing.assert_array_equal(restored.bits_per_filter, bits)
+        for f in range(len(bits)):
+            np.testing.assert_array_equal(restored.codes[f], codes[f])
+        np.testing.assert_array_equal(restored.reconstruct(), layer.reconstruct())
+
+    def test_single_filter_layer(self):
+        layer = LayerExport(
+            name="single",
+            lower=-0.5,
+            upper=0.5,
+            bits_per_filter=np.array([5], dtype=np.int64),
+            codes=[np.array([0, 31, 17], dtype=np.int64)],
+            weight_shape=(1, 3),
+        )
+        restored = _layer_round_trip(layer)
+        np.testing.assert_array_equal(restored.codes[0], layer.codes[0])
+        assert restored.weight_shape == (1, 3)
+
+    def test_single_filter_pruned_layer(self):
+        layer = LayerExport(
+            name="pruned",
+            lower=-0.5,
+            upper=0.5,
+            bits_per_filter=np.array([0], dtype=np.int64),
+            codes=[np.zeros(0, dtype=np.int64)],
+            weight_shape=(1, 4),
+        )
+        restored = _layer_round_trip(layer)
+        assert restored.codes[0].size == 0
+        np.testing.assert_array_equal(restored.reconstruct(), 0.0)
+
+    def test_non_byte_aligned_payload_is_padded_per_filter(self):
+        # 3 codes x 3 bits = 9 bits -> 2 bytes per filter; the second
+        # filter must start on the next byte boundary.
+        bits = np.array([3, 3], dtype=np.int64)
+        codes = [np.array([7, 0, 5]), np.array([1, 2, 3])]
+        layer = LayerExport(
+            name="odd",
+            lower=-1.0,
+            upper=1.0,
+            bits_per_filter=bits,
+            codes=[c.astype(np.int64) for c in codes],
+            weight_shape=(2, 3),
+        )
+        restored = _layer_round_trip(layer)
+        for f in range(2):
+            np.testing.assert_array_equal(restored.codes[f], codes[f])
+
+    def test_above_model_max_bits_round_trip(self):
+        # The frame format is independent of any model's max_bits=4:
+        # 8-bit codes (the satellite's upper end) survive untouched.
+        codes = np.arange(256, dtype=np.int64)
+        layer = LayerExport(
+            name="wide",
+            lower=-2.0,
+            upper=2.0,
+            bits_per_filter=np.array([8], dtype=np.int64),
+            codes=[codes],
+            weight_shape=(1, 256),
+        )
+        restored = _layer_round_trip(layer)
+        np.testing.assert_array_equal(restored.codes[0], codes)
+
+
+class TestReconstructionContract:
+    def test_reconstruct_is_bit_exact_with_effective_weight(self, vgg_export):
+        """Stronger than allclose: serving depends on exact equality."""
+        model, export = vgg_export
+        from repro.quant.qmodules import quantized_layers
+
+        layers = quantized_layers(model)
+        for name, layer_export in export.layers.items():
+            np.testing.assert_array_equal(
+                layer_export.reconstruct(), layers[name].effective_weight().data
+            )
 
 
 class TestPrunedFilters:

@@ -94,6 +94,20 @@ class TestRegistry:
         with pytest.raises(KeyError):
             figure_unit("9")
 
+    def test_serve_replay_units_registered_and_resolvable(self):
+        assert "serve-replay" in available_unit_factories()
+        specs = build_units(
+            "serve-replay", model="mlp", bits=(1, 2), seeds=(0, 1), scale="tiny"
+        )
+        grid = [(s.params["bits"], s.params["seed"]) for s in specs]
+        assert grid == [(1, 0), (1, 1), (2, 0), (2, 1)]
+        for spec in specs:
+            assert spec.target == "repro.serve.replay:run_point"
+            resolve_target(spec.target)
+            resolve_target(spec.render)
+            spec.content_key()  # params must be JSON-able
+        assert len({s.content_key() for s in specs}) == len(specs)
+
     def test_budget_sweep_units_grid_order(self):
         specs = budget_sweep_units(
             model="mlp", budgets=(1.0, 2.0), seeds=(0, 1), scale="tiny"

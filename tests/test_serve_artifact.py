@@ -1,0 +1,261 @@
+"""Tests for repro.serve.artifact: container, reconstruction, LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.quant.export import ExportMismatchError, export_quantized_weights, verify_export
+from repro.quant.packing import write_bitstream
+from repro.quant.qmodules import quantized_layers
+from repro.serve import (
+    ArtifactCache,
+    ArtifactManifest,
+    artifact_from_search,
+    compile_artifact,
+    load_artifact,
+    load_artifact_bytes,
+    save_artifact,
+    serialize_artifact,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def quantized_mlp(quantized_mlp_factory):
+    return quantized_mlp_factory()
+
+
+class TestManifest:
+    def test_round_trip(self):
+        manifest = ArtifactManifest(
+            model="mlp", dataset="synth100", scale="small", seed=3,
+            num_classes=100, image_size=16, max_bits=4, act_bits=2,
+            extra={"accuracy": 0.5},
+        )
+        restored = ArtifactManifest.from_dict(manifest.to_dict())
+        assert restored == manifest
+
+    def test_non_finite_extras_become_null(self):
+        manifest = ArtifactManifest(model="mlp", extra={"bad": float("nan")})
+        assert manifest.to_dict()["extra"]["bad"] is None
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            ArtifactManifest.from_dict({"model": "mlp", "frobnicate": 1})
+
+    def test_input_shape(self):
+        assert ArtifactManifest(model="mlp", image_size=8).input_shape == (3, 8, 8)
+
+
+class TestContainer:
+    def test_save_load_round_trip(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        written = save_artifact(path, model, manifest)
+        assert path.stat().st_size == written
+        artifact = load_artifact(path)
+        assert artifact.manifest == manifest
+        assert artifact.nbytes == written
+        export = export_quantized_weights(model)
+        assert set(artifact.export.layers) == set(export.layers)
+        for name, layer in export.layers.items():
+            for f in range(len(layer.bits_per_filter)):
+                np.testing.assert_array_equal(
+                    artifact.export.layers[name].codes[f], layer.codes[f]
+                )
+
+    def test_content_key_is_stable_and_content_based(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        assert load_artifact_bytes(data).content_key == load_artifact_bytes(data).content_key
+        (tmp_path / "a.cqw").write_bytes(data)
+        (tmp_path / "b.cqw").write_bytes(data)
+        assert (
+            load_artifact(tmp_path / "a.cqw").content_key
+            == load_artifact(tmp_path / "b.cqw").content_key
+        )
+
+    def test_compiled_artifact_saves_its_exact_bytes(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        path = tmp_path / "compiled.cqw"
+        written = artifact.save(path)
+        assert written == artifact.nbytes == path.stat().st_size
+        assert load_artifact(path).content_key == artifact.content_key
+
+    def test_bare_cqw1_without_sidecar_rejected(self, quantized_mlp, tmp_path):
+        model, _manifest = quantized_mlp
+        path = tmp_path / "bare.cqw"
+        write_bitstream(export_quantized_weights(model), path)
+        with pytest.raises(ValueError, match="sidecar"):
+            load_artifact(path)
+
+    def test_unknown_trailing_section_rejected(self, quantized_mlp):
+        model, _manifest = quantized_mlp
+        from repro.quant.packing import serialize_export
+
+        data = serialize_export(export_quantized_weights(model)) + b"XXXX123"
+        with pytest.raises(ValueError, match="CQS1"):
+            load_artifact_bytes(data)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="CQW1"):
+            load_artifact_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_sidecar_excludes_quantized_weights(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        quantized = set(quantized_layers(model))
+        for name in quantized:
+            assert f"{name}.weight" not in artifact.state
+            assert f"{name}.quant_bits" in artifact.state
+        # Unquantized first/output layers ride along in full.
+        assert any(key.endswith("fc0.weight") for key in artifact.state)
+
+
+class TestServingModel:
+    def test_weights_are_bit_exact_with_effective_weight(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        serving = compile_artifact(model, manifest).model()
+        reference = quantized_layers(model)
+        for name, layer in quantized_layers(serving).items():
+            assert layer.weight_quant_enabled is False
+            np.testing.assert_array_equal(
+                layer.weight.data, reference[name].effective_weight().data
+            )
+
+    def test_forward_parity_weights_only(self, quantized_mlp, rng):
+        model, manifest = quantized_mlp
+        serving = compile_artifact(model, manifest).model()
+        batch = rng.standard_normal((6, 3, 8, 8))
+        with no_grad():
+            expected = model(Tensor(batch)).data
+            got = serving(Tensor(batch)).data
+        np.testing.assert_array_equal(got, expected)
+
+    def test_forward_parity_with_quantized_activations(
+        self, quantized_mlp_factory, rng
+    ):
+        model, manifest = quantized_mlp_factory(act_bits=2)
+        serving = compile_artifact(model, manifest).model()
+        batch = rng.standard_normal((6, 3, 8, 8))
+        with no_grad():
+            expected = model(Tensor(batch)).data
+            got = serving(Tensor(batch)).data
+        np.testing.assert_array_equal(got, expected)
+
+    def test_model_is_built_once(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        assert artifact.model() is artifact.model()
+
+    def test_artifact_from_search_bit_map(self, quantized_mlp_factory, rng):
+        from repro.experiments.presets import build_preset_model
+        from repro.quant.qmodules import extract_bit_map
+
+        quantized, manifest = quantized_mlp_factory()
+        float_model = build_preset_model(
+            "mlp", num_classes=4, image_size=8, scale="tiny", seed=1
+        )
+        # Carry the float weights over so the arrangement is the only delta.
+        state = {
+            key: value
+            for key, value in quantized.state_dict().items()
+            if not (key.endswith("quant_bits") or key.endswith("act_range"))
+        }
+        float_model.load_state_dict(state, strict=False)
+        artifact = artifact_from_search(
+            float_model, extract_bit_map(quantized), manifest
+        )
+        batch = rng.standard_normal((4, 3, 8, 8))
+        with no_grad():
+            expected = quantized(Tensor(batch)).data
+            got = artifact.model()(Tensor(batch)).data
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestVerifyExportStrict:
+    def test_strict_raises_with_layer_and_error(self, quantized_mlp):
+        model, _manifest = quantized_mlp
+        export = export_quantized_weights(model)
+        name = next(iter(export.layers))
+        # Corrupt one non-empty code array.
+        layer = export.layers[name]
+        victim = next(f for f, b in enumerate(layer.bits_per_filter) if int(b) > 0)
+        layer.codes[victim] = layer.codes[victim] ^ 1
+        assert verify_export(model, export) is False
+        with pytest.raises(ExportMismatchError, match=name) as error:
+            verify_export(model, export, strict=True)
+        assert "max abs error" in str(error.value)
+
+    def test_strict_passes_on_clean_export(self, quantized_mlp):
+        model, _manifest = quantized_mlp
+        assert verify_export(model, strict=True) is True
+
+    def test_compile_runs_strict_verification(self, quantized_mlp, monkeypatch):
+        model, manifest = quantized_mlp
+        import repro.serve.artifact as artifact_module
+
+        def broken_export(_model):
+            export = export_quantized_weights(model)
+            layer = next(iter(export.layers.values()))
+            victim = next(
+                f for f, b in enumerate(layer.bits_per_filter) if int(b) > 0
+            )
+            layer.codes[victim] = layer.codes[victim] ^ 1
+            return export
+
+        monkeypatch.setattr(
+            artifact_module, "export_quantized_weights", broken_export
+        )
+        with pytest.raises(ExportMismatchError):
+            compile_artifact(model, manifest)
+        # verify=False skips the guard (the corruption ships).
+        assert compile_artifact(model, manifest, verify=False) is not None
+
+
+class TestArtifactCache:
+    def test_hits_are_free_and_shared(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache(capacity=2)
+        first = cache.load(path)
+        second = cache.load(path)
+        assert second is first
+        assert second.model() is first.model()
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert "1 hits, 1 misses" in cache.stats.summary()
+
+    def test_keyed_by_content_not_path(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        (tmp_path / "a.cqw").write_bytes(data)
+        (tmp_path / "b.cqw").write_bytes(data)
+        cache = ArtifactCache()
+        assert cache.load(tmp_path / "b.cqw") is cache.load(tmp_path / "a.cqw")
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self, quantized_mlp_factory, tmp_path):
+        cache = ArtifactCache(capacity=1)
+        model_a, manifest_a = quantized_mlp_factory(bits_seed=0)
+        model_b, manifest_b = quantized_mlp_factory(bits_seed=9)
+        bytes_a = serialize_artifact(model_a, manifest_a)
+        bytes_b = serialize_artifact(model_b, manifest_b)
+        assert bytes_a != bytes_b
+        first = cache.load_bytes(bytes_a)
+        cache.load_bytes(bytes_b)
+        assert cache.stats.evictions == 1
+        assert cache.load_bytes(bytes_a) is not first  # rebuilt after eviction
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(capacity=0)
+
+    def test_clear(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        cache = ArtifactCache()
+        cache.load_bytes(serialize_artifact(model, manifest))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,280 @@
+"""Tests for repro.serve.engine: micro-batching, stats, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.serve import EngineClosed, InferenceEngine, RequestCancelled
+from repro.tensor.tensor import Tensor
+
+
+def make_toy_model(in_features: int = 3, out_features: int = 2) -> Module:
+    """A deterministic linear map so outputs identify their inputs."""
+    model = Linear(in_features, out_features, rng=np.random.default_rng(0))
+    model.weight.data[...] = np.arange(
+        out_features * in_features, dtype=np.float64
+    ).reshape(out_features, in_features)
+    model.bias.data[...] = 0.0
+    return model
+
+
+def expected_output(model: Module, x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64) @ model.weight.data.T
+
+
+class FailingModel(Module):
+    def forward(self, x):
+        raise RuntimeError("kaboom")
+
+
+class TestBasicServing:
+    def test_predict_returns_model_output(self):
+        model = make_toy_model()
+        with InferenceEngine(model) as engine:
+            x = np.array([1.0, 2.0, 3.0])
+            np.testing.assert_array_equal(engine.predict(x), expected_output(model, x))
+
+    def test_results_map_to_their_requests(self):
+        model = make_toy_model()
+        inputs = np.arange(30, dtype=np.float64).reshape(10, 3)
+        with InferenceEngine(model, batch_window_s=0.02, max_batch_size=4) as engine:
+            pendings = [engine.submit(x) for x in inputs]
+            for x, pending in zip(inputs, pendings):
+                np.testing.assert_array_equal(
+                    pending.result(timeout=10), expected_output(model, x)
+                )
+
+    def test_concurrent_clients_all_answered(self):
+        model = make_toy_model()
+        inputs = np.arange(60, dtype=np.float64).reshape(20, 3)
+        results = [None] * len(inputs)
+
+        with InferenceEngine(model, batch_window_s=0.005, max_batch_size=8) as engine:
+
+            def client(offset):
+                for index in range(offset, len(inputs), 4):
+                    results[index] = engine.predict(inputs[index], timeout=10)
+
+            threads = [threading.Thread(target=client, args=(c,)) for c in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for x, result in zip(inputs, results):
+            np.testing.assert_array_equal(result, expected_output(model, x))
+
+
+class TestMicroBatching:
+    def test_queued_requests_coalesce_deterministically(self):
+        # autostart=False: everything queues, then one start() drains it
+        # with full batches — deterministic composition.
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=4,
+            record_batches=True, autostart=False,
+        )
+        inputs = np.arange(30, dtype=np.float64).reshape(10, 3)
+        pendings = [engine.submit(x) for x in inputs]
+        engine.start()
+        engine.drain(timeout=10)
+        stats = engine.stats
+        assert stats.forwards == 3  # 4 + 4 + 2
+        assert [len(batch) for batch in engine.executed_batches()] == [4, 4, 2]
+        assert stats.coalesced_forwards == 3
+        assert stats.batched_requests == 10
+        assert stats.max_batch_seen == 4
+        for x, pending in zip(inputs, pendings):
+            np.testing.assert_array_equal(pending.result(), expected_output(model, x))
+        engine.close()
+
+    def test_max_batch_one_is_sequential(self):
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=1,
+            record_batches=True, autostart=False,
+        )
+        for x in np.arange(12, dtype=np.float64).reshape(4, 3):
+            engine.submit(x)
+        engine.start()
+        engine.drain(timeout=10)
+        stats = engine.stats
+        assert stats.forwards == 4
+        assert stats.coalesced_forwards == 0
+        assert stats.mean_batch_size == 1.0
+        engine.close()
+
+    def test_window_coalesces_sparse_arrivals(self):
+        # A generous window lets requests submitted after the worker
+        # opened a batch still join it.
+        model = make_toy_model()
+        with InferenceEngine(
+            model, batch_window_s=0.25, max_batch_size=8, record_batches=True
+        ) as engine:
+            pendings = [
+                engine.submit(x)
+                for x in np.arange(24, dtype=np.float64).reshape(8, 3)
+            ]
+            for pending in pendings:
+                pending.result(timeout=10)
+            stats = engine.stats
+        assert stats.forwards < 8  # strictly better than sequential
+        assert stats.coalesced_forwards >= 1
+
+    def test_stats_accounting_identities(self):
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=3,
+            record_batches=True, autostart=False,
+        )
+        inputs = np.arange(21, dtype=np.float64).reshape(7, 3)
+        pendings = [engine.submit(x) for x in inputs]
+        engine.start()
+        engine.drain(timeout=10)
+        stats = engine.stats
+        # Every request is served by exactly one executed batch.
+        assert sum(len(batch) for batch in engine.executed_batches()) == stats.served
+        assert stats.requests == stats.completed + stats.errors + stats.cancelled
+        assert stats.completed == len(stats.latencies_s)
+        assert stats.mean_batch_size == pytest.approx(stats.served / stats.forwards)
+        assert all(pending.latency_s >= 0 for pending in pendings)
+        assert stats.max_latency_s >= stats.mean_latency_s > 0
+        assert stats.latency_percentile(95) <= stats.max_latency_s
+        engine.close()
+
+    def test_snapshot_is_decoupled(self):
+        model = make_toy_model()
+        with InferenceEngine(model) as engine:
+            engine.predict(np.ones(3))
+            snapshot = engine.stats
+            engine.predict(np.ones(3))
+            assert snapshot.requests == 1
+            assert engine.stats.requests == 2
+
+    def test_record_batches_off_by_default(self):
+        with InferenceEngine(make_toy_model()) as engine:
+            with pytest.raises(RuntimeError, match="record_batches"):
+                engine.executed_batches()
+
+
+class TestErrorsAndLifecycle:
+    def test_forward_error_propagates_and_engine_survives(self):
+        failing = FailingModel()
+        with InferenceEngine(failing, max_batch_size=2) as engine:
+            pending = engine.submit(np.ones(3))
+            with pytest.raises(RuntimeError, match="kaboom"):
+                pending.result(timeout=10)
+            assert engine.stats.errors == 1
+
+    def test_bad_shape_poisons_only_its_batch(self):
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=8, autostart=False
+        )
+        good = engine.submit(np.ones(3))
+        bad = engine.submit(np.ones(5))  # np.stack raises on ragged shapes
+        engine.start()
+        engine.drain(timeout=10)
+        with pytest.raises(ValueError):
+            bad.result(timeout=10)
+        with pytest.raises(ValueError):
+            good.result(timeout=10)  # same batch, same failure
+        # The engine keeps serving afterwards.
+        np.testing.assert_array_equal(
+            engine.predict(np.ones(3), timeout=10),
+            expected_output(model, np.ones(3)),
+        )
+        engine.close()
+
+    def test_close_drains_pending_requests(self):
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=4, autostart=False
+        )
+        pendings = [engine.submit(np.full(3, i)) for i in range(6)]
+        engine.start()
+        engine.close(drain=True, timeout=10)
+        for i, pending in enumerate(pendings):
+            np.testing.assert_array_equal(
+                pending.result(timeout=1), expected_output(model, np.full(3, i))
+            )
+
+    def test_close_without_drain_cancels(self):
+        model = make_toy_model()
+        engine = InferenceEngine(model, autostart=False)
+        pending = engine.submit(np.ones(3))
+        engine.close(drain=False)
+        with pytest.raises(RequestCancelled):
+            pending.result(timeout=1)
+        assert engine.stats.cancelled == 1
+
+    def test_close_unstarted_engine_drains_inline(self):
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=4, autostart=False
+        )
+        pendings = [engine.submit(np.full(3, i)) for i in range(5)]
+        engine.close(drain=True)
+        for i, pending in enumerate(pendings):
+            np.testing.assert_array_equal(
+                pending.result(timeout=1), expected_output(model, np.full(3, i))
+            )
+
+    def test_submit_after_close_raises(self):
+        engine = InferenceEngine(make_toy_model())
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.submit(np.ones(3))
+        with pytest.raises(EngineClosed):
+            engine.start()
+
+    def test_close_is_idempotent(self):
+        engine = InferenceEngine(make_toy_model())
+        engine.close()
+        engine.close()
+
+    def test_drain_on_unstarted_engine_raises(self):
+        engine = InferenceEngine(make_toy_model(), autostart=False)
+        engine.submit(np.ones(3))
+        with pytest.raises(RuntimeError, match="never started"):
+            engine.drain(timeout=1)
+        engine.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            InferenceEngine(make_toy_model(), max_batch_size=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(make_toy_model(), batch_window_s=-1.0)
+
+    def test_result_timeout(self):
+        engine = InferenceEngine(make_toy_model(), autostart=False)
+        pending = engine.submit(np.ones(3))
+        with pytest.raises(TimeoutError):
+            pending.result(timeout=0.01)
+        engine.close(drain=False)
+
+
+class TestParityReplay:
+    def test_every_batch_is_bit_exact_with_a_direct_forward(self):
+        from repro.tensor.tensor import no_grad
+
+        model = make_toy_model()
+        engine = InferenceEngine(
+            model, batch_window_s=0.0, max_batch_size=4,
+            record_batches=True, autostart=False,
+        )
+        inputs = np.random.default_rng(7).standard_normal((11, 3))
+        pendings = [engine.submit(x) for x in inputs]
+        engine.start()
+        engine.drain(timeout=10)
+        outputs = {p.request_id: p.result() for p in pendings}
+        ids = [p.request_id for p in pendings]
+        for batch in engine.executed_batches():
+            rows = [ids.index(rid) for rid in batch]
+            with no_grad():
+                reference = model(Tensor(np.stack([inputs[r] for r in rows]))).data
+            for position, rid in enumerate(batch):
+                np.testing.assert_array_equal(outputs[rid], reference[position])
+        engine.close()

@@ -1,0 +1,130 @@
+"""The serving parity contract (tier-1).
+
+Serving answers must be **bit-exact** with the fake-quantized model's
+forward on the same inputs, end to end: fake-quant model → integer
+export → CQW1 bitstream on disk → artifact cache → reconstructed model
+→ micro-batching engine under concurrent load. This is the serving twin
+of the evaluator's bit-exact contract (docs/architecture.md) and must
+be preserved by any future serving change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant.export import export_quantized_weights, verify_export
+from repro.serve import (
+    ArtifactCache,
+    ServeConfig,
+    ServingSession,
+    cycle_inputs,
+    replay_requests,
+    save_artifact,
+    verify_replay,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@pytest.fixture(params=[None, 2], ids=["weights-only", "act2"])
+def served_setup(request, quantized_mlp_factory, tmp_path):
+    """(fake-quant model, session serving its artifact from disk, inputs)."""
+    model, manifest = quantized_mlp_factory(act_bits=request.param)
+    # The export the artifact carries is strictly verified first: a
+    # parity failure below then points at serving, not the export.
+    verify_export(model, export_quantized_weights(model), strict=True)
+    path = tmp_path / "model.cqw"
+    save_artifact(path, model, manifest)
+    cache = ArtifactCache()
+    session = ServingSession(
+        cache.load(path),
+        config=ServeConfig(
+            batch_window_s=0.01, max_batch_size=4, record_batches=True
+        ),
+    )
+    inputs = np.random.default_rng(42).standard_normal((18, 3, 8, 8))
+    yield model, session, inputs
+    session.close()
+
+
+class TestServingParity:
+    def test_concurrent_replay_is_bit_exact_with_fake_quant_model(self, served_setup):
+        fake_quant, session, inputs = served_setup
+        run = replay_requests(session, inputs, concurrency=3)
+        session.drain()
+
+        # 1) Engine answers == serving model run directly on the same
+        #    executed batches (the engine adds nothing).
+        assert verify_replay(session, inputs, run) == len(inputs)
+
+        # 2) Serving model == fake-quantized model, batch for batch:
+        #    replay every executed batch through the *original*
+        #    fake-quant model and require bitwise equality.
+        index_of = {rid: i for i, rid in enumerate(run.request_ids)}
+        verified = 0
+        for batch in session.engine.executed_batches():
+            rows = [index_of[rid] for rid in batch]
+            with no_grad():
+                reference = fake_quant(
+                    Tensor(np.stack([inputs[row] for row in rows]))
+                ).data
+            for position, row in enumerate(rows):
+                np.testing.assert_array_equal(run.outputs[row], reference[position])
+                verified += 1
+        assert verified == len(inputs)
+
+    def test_single_request_parity(self, served_setup):
+        fake_quant, session, inputs = served_setup
+        x = inputs[0]
+        got = session.predict(x)
+        with no_grad():
+            expected = fake_quant(Tensor(x[None])).data[0]
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestReplayHarness:
+    def test_cycle_inputs_wraps(self):
+        images = np.arange(12, dtype=np.float64).reshape(3, 4)
+        cycled = cycle_inputs(images, 7)
+        assert cycled.shape == (7, 4)
+        np.testing.assert_array_equal(cycled[3], images[0])
+        with pytest.raises(ValueError):
+            cycle_inputs(images[:0], 3)
+
+    def test_replay_payload_figures(self, served_setup):
+        _model, session, inputs = served_setup
+        run = replay_requests(session, inputs, concurrency=2)
+        payload = run.payload
+        assert payload["requests"] == len(inputs)
+        assert payload["concurrency"] == 2
+        assert payload["throughput_rps"] > 0
+        assert payload["forwards"] >= 1
+        assert payload["mean_batch_size"] >= 1.0
+        assert payload["latency_ms"]["p95"] >= payload["latency_ms"]["p50"] >= 0
+        assert run.outputs.shape == (len(inputs), 4)
+        assert sorted(run.request_ids) == list(range(min(run.request_ids), min(run.request_ids) + len(inputs)))
+
+    def test_replay_rejects_bad_concurrency(self, served_setup):
+        _model, session, inputs = served_setup
+        with pytest.raises(ValueError):
+            replay_requests(session, inputs, concurrency=0)
+
+    def test_replay_rejects_empty_trace(self, served_setup):
+        _model, session, inputs = served_setup
+        with pytest.raises(ValueError, match="at least one request"):
+            replay_requests(session, inputs[:0], concurrency=2)
+        with pytest.raises(ValueError, match="at least one request"):
+            cycle_inputs(inputs, 0)
+
+    def test_float32_inputs_still_verify_bit_exact(self, served_setup):
+        # The engine serves float64; the parity check must compare
+        # against the same bytes the engine saw, not the raw dtype.
+        _model, session, inputs = served_setup
+        low_precision = inputs.astype(np.float32)
+        run = replay_requests(session, low_precision, concurrency=2)
+        assert verify_replay(session, low_precision, run) == len(inputs)
+
+    def test_verify_replay_detects_corruption(self, served_setup):
+        _model, session, inputs = served_setup
+        run = replay_requests(session, inputs, concurrency=2)
+        run.outputs[0, 0] += 1.0
+        with pytest.raises(AssertionError, match="bit-exact"):
+            verify_replay(session, inputs, run)

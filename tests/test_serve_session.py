@@ -1,0 +1,117 @@
+"""Tests for repro.serve.session: the synchronous serving facade."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ArtifactCache,
+    EngineClosed,
+    ServeConfig,
+    ServingSession,
+    compile_artifact,
+    save_artifact,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def artifact(quantized_mlp_factory):
+    model, manifest = quantized_mlp_factory()
+    return compile_artifact(model, manifest)
+
+
+class TestConstruction:
+    def test_from_artifact(self, artifact):
+        with ServingSession(artifact) as session:
+            assert session.artifact is artifact
+            assert session.model is artifact.model()
+
+    def test_from_path_uses_cache(self, quantized_mlp_factory, tmp_path):
+        model, manifest = quantized_mlp_factory()
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache()
+        with ServingSession(path, cache=cache) as first:
+            with ServingSession(str(path), cache=cache) as second:
+                assert second.model is first.model
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_from_bare_model(self, quantized_mlp_factory):
+        model, _manifest = quantized_mlp_factory()
+        with ServingSession(model) as session:
+            assert session.artifact is None
+            with pytest.raises(ValueError, match="example input"):
+                session.warmup()
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError, match="source"):
+            ServingSession(42)
+
+
+class TestPredict:
+    def test_predict_matches_direct_forward(self, artifact, rng):
+        x = rng.standard_normal((3, 8, 8))
+        with ServingSession(artifact) as session:
+            got = session.predict(x)
+        with no_grad():
+            expected = artifact.model()(Tensor(x[None])).data[0]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_predict_batch_preserves_row_order(self, artifact, rng):
+        xs = rng.standard_normal((9, 3, 8, 8))
+        config = ServeConfig(batch_window_s=0.01, max_batch_size=4, record_batches=True)
+        with ServingSession(artifact, config=config) as session:
+            got = session.predict_batch(xs)
+            stats = session.stats
+        assert got.shape == (9, 4)
+        assert stats.forwards < 9  # rows coalesced
+        # Row i answers input i whatever the batching was: a strictly
+        # sequential session must agree row by row (tiny float drift
+        # across batch shapes is allowed; a row swap is not).
+        sequential_config = ServeConfig(batch_window_s=0.0, max_batch_size=1)
+        with ServingSession(artifact, config=sequential_config) as session:
+            sequential = session.predict_batch(xs)
+        np.testing.assert_allclose(got, sequential, rtol=1e-9, atol=1e-12)
+
+    def test_predict_batch_rejects_single_example(self, artifact):
+        with ServingSession(artifact) as session:
+            with pytest.raises(ValueError, match="batch"):
+                session.predict_batch(np.zeros((3 * 8 * 8,)))
+
+    def test_predict_labels(self, artifact, rng):
+        xs = rng.standard_normal((5, 3, 8, 8))
+        with ServingSession(artifact) as session:
+            labels = session.predict_labels(xs)
+            logits = session.predict_batch(xs)
+        np.testing.assert_array_equal(labels, logits.argmax(axis=1))
+
+    def test_warmup_uses_manifest_shape(self, artifact):
+        with ServingSession(artifact) as session:
+            session.warmup(count=2)
+            assert session.stats.completed == 2
+
+
+class TestLifecycle:
+    def test_close_is_graceful_and_idempotent(self, artifact):
+        session = ServingSession(artifact)
+        pending = session.submit(np.zeros((3, 8, 8)))
+        session.close()
+        assert pending.result(timeout=1).shape == (4,)
+        session.close()
+        with pytest.raises(EngineClosed):
+            session.predict(np.zeros((3, 8, 8)))
+
+    def test_drain_completes_inflight_work(self, artifact):
+        config = ServeConfig(autostart=False, batch_window_s=0.0)
+        session = ServingSession(artifact, config=config)
+        pendings = [session.submit(np.zeros((3, 8, 8))) for _ in range(3)]
+        session.start()
+        session.drain(timeout=10)
+        assert all(pending.done() for pending in pendings)
+        session.close()
+
+    def test_stats_property(self, artifact):
+        with ServingSession(artifact) as session:
+            session.predict(np.zeros((3, 8, 8)))
+            stats = session.stats
+        assert stats.requests == 1 and stats.completed == 1
