@@ -52,6 +52,7 @@ def _timed_drain(artifact, inputs, max_batch_size):
     run = ReplayRun(
         payload={}, outputs=outputs,
         request_ids=[pending.request_id for pending in pendings],
+        engine_indices=[pending.engine_index for pending in pendings],
     )
     verified = verify_replay(session, inputs, run)
     stats = session.stats
@@ -121,3 +122,54 @@ def test_serve_micro_batching_throughput(benchmark):
         f"micro-batched serving only reached x{speedup:.2f} of sequential "
         f"throughput ({batched_rps:.1f} vs {sequential_rps:.1f} req/s)"
     )
+
+
+def test_multi_engine_pool_parity_at_scale(benchmark):
+    """Copy-on-lease at the benchmark scale: a 2-engine pool over the
+    VGG artifact serves the full 192-request trace with every answer
+    bit-exact against its engine's own clone, traffic on both engines,
+    and balanced round-robin fan-out. (Correctness guard — wall-clock
+    scaling across engines is hardware-dependent and not asserted.)
+    """
+    from repro.serve import ArtifactCache
+
+    artifact = build_uniform_artifact(
+        model="vgg-small", dataset="synth10", scale="tiny", seed=0, bits=2
+    )
+    dataset = get_dataset("synth10", scale="tiny", seed=0)
+    inputs = cycle_inputs(dataset.test_images, REQUESTS)
+    cache = ArtifactCache()
+
+    def run_pooled():
+        session = ServingSession(
+            artifact,
+            config=ServeConfig(
+                batch_window_s=0.05,
+                max_batch_size=BATCH_CAP,
+                record_batches=True,
+                autostart=False,
+                engines=2,
+            ),
+            cache=cache,
+        )
+        pendings = [session.submit(x) for x in inputs]
+        session.start()
+        session.drain()
+        outputs = np.stack([pending.result() for pending in pendings])
+        run = ReplayRun(
+            payload={}, outputs=outputs,
+            request_ids=[pending.request_id for pending in pendings],
+            engine_indices=[pending.engine_index for pending in pendings],
+        )
+        verified = verify_replay(session, inputs, run)
+        per_engine = session.per_engine_stats()
+        session.close()
+        return verified, per_engine
+
+    verified, per_engine = run_once(benchmark, run_pooled)
+    assert verified == REQUESTS
+    assert [stats.requests for stats in per_engine] == [REQUESTS // 2] * 2
+    assert all(stats.completed == REQUESTS // 2 for stats in per_engine)
+    # One prototype build; both engines got private leased clones.
+    assert cache.stats.misses == 1 and cache.stats.leases == 2
+    assert cache.active_leases() == 0

@@ -24,8 +24,10 @@ serve
     --save-artifact``), reconstruct the model bit-exactly from the
     integer codes, and replay a concurrent request load through the
     micro-batching inference engine, printing a throughput/latency
-    report and a bit-exact parity check. ``--repeat N`` starts N
-    engines in sequence to demonstrate the content-hash artifact cache.
+    report and a bit-exact parity check. ``--engines N`` fans the load
+    across N engines, each serving a private model clone leased from
+    the content-hash artifact cache; ``--repeat N`` starts N serving
+    rounds in sequence to demonstrate the cache.
 predict
     One-shot inference: answer a saved batch (``.npz``/``.npy``) from a
     serving artifact and print the predicted classes.
@@ -71,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the packed CQW1 serving artifact (bitstream + model "
         "sidecar) consumed by `repro serve` / `repro predict`",
+    )
+    from repro.quant.export import STORAGE_DTYPE_BITS
+
+    quantize.add_argument(
+        "--sidecar-dtype",
+        default="float32",
+        choices=tuple(STORAGE_DTYPE_BITS),
+        help="storage dtype of the artifact's model sidecar (float64 "
+        "writes the legacy lossless CQS1 layout; float32/float16 write "
+        "the compact tagged CQS2 layout)",
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -131,6 +143,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="micro-batching window (how long an open batch waits)",
     )
     serve.add_argument("--max-batch", type=int, default=16, help="batch-size cap")
+    serve.add_argument(
+        "--engines",
+        type=int,
+        default=1,
+        help="engines serving the artifact concurrently (each gets a "
+        "private model clone leased from the cache)",
+    )
     serve.add_argument(
         "--repeat",
         type=int,
@@ -198,11 +217,14 @@ def _run_quantize(args) -> int:
             dataset=dataset,
             scale=args.scale,
             seed=args.seed,
+            sidecar_dtype=args.sidecar_dtype,
         )
         size = artifact.save(args.save_artifact)
         print(
             f"saved serving artifact to {args.save_artifact}: {size} bytes "
-            f"({result.average_bits:.3f} avg weight bits, "
+            f"(payload {artifact.payload_nbytes} + sidecar "
+            f"{artifact.sidecar_nbytes} @ {artifact.sidecar_dtype}; "
+            f"{result.average_bits:.3f} avg weight bits, "
             f"x{artifact.export.compression_ratio():.1f} smaller than FP32)"
         )
     return 0
@@ -352,27 +374,33 @@ def _run_serve(args) -> int:
         verify_replay,
     )
 
+    if args.engines < 1:
+        print(f"serve: --engines must be >= 1, got {args.engines}", file=sys.stderr)
+        return 2
     cache = ArtifactCache()
     inputs = None
     for round_index in range(max(1, args.repeat)):
-        artifact = cache.load(args.artifact)
+        session = ServingSession(
+            args.artifact,
+            config=ServeConfig(
+                batch_window_s=args.batch_window_ms / 1e3,
+                max_batch_size=args.max_batch,
+                record_batches=not args.no_verify,
+                engines=args.engines,
+            ),
+            cache=cache,
+        )
+        artifact = session.artifact
         manifest = artifact.manifest
         if inputs is None:
             dataset = get_dataset(manifest.dataset, scale=manifest.scale, seed=manifest.seed)
             inputs = cycle_inputs(dataset.test_images, args.requests)
             print(
                 f"serving {manifest.model} ({manifest.dataset}/{manifest.scale}, "
-                f"{artifact.nbytes} bytes, key {artifact.content_key}); replaying "
-                f"{len(inputs)} requests from {args.concurrency} clients"
+                f"{artifact.size_breakdown()}, key {artifact.content_key}); "
+                f"replaying {len(inputs)} requests from {args.concurrency} "
+                f"clients across {args.engines} engine(s)"
             )
-        session = ServingSession(
-            artifact,
-            config=ServeConfig(
-                batch_window_s=args.batch_window_ms / 1e3,
-                max_batch_size=args.max_batch,
-                record_batches=not args.no_verify,
-            ),
-        )
         try:
             run = replay_requests(session, inputs, concurrency=args.concurrency)
             print(render_replay(run.payload, title=f"round {round_index + 1}"))

@@ -29,6 +29,13 @@ from repro.quant.uniform import quantization_levels
 
 FLOAT32_BITS = 32
 
+#: Bits per scalar of each storage dtype a serving sidecar can be
+#: written in: ``float32`` is the serving default, ``float64`` the
+#: legacy CQS1 layout, ``float16`` the aggressive tail option. This is
+#: the authoritative table — ``repro.serve.artifact.SIDECAR_DTYPES``
+#: derives its numpy dtypes from it.
+STORAGE_DTYPE_BITS = {"float64": 64, "float32": 32, "float16": 16}
+
 
 @dataclass
 class LayerExport:

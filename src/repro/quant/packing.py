@@ -36,6 +36,32 @@ from repro.quant.export import LayerExport, QuantizedExport
 
 MAGIC = b"CQW1"
 
+#: Storage dtypes a tagged (CQS2) sidecar tensor can be framed in:
+#: tag byte -> little-endian numpy format. The numbering is part of the
+#: on-disk format — append, never renumber.
+TENSOR_DTYPES: Dict[int, str] = {0: "<f8", 1: "<f4", 2: "<f2"}
+
+_TAG_OF_DTYPE = {np.dtype(fmt): tag for tag, fmt in TENSOR_DTYPES.items()}
+
+
+def dtype_tag(dtype) -> int:
+    """The sidecar tag byte of a storable tensor dtype."""
+    try:
+        return _TAG_OF_DTYPE[np.dtype(dtype).newbyteorder("<")]
+    except KeyError:
+        raise ValueError(
+            f"dtype {dtype!r} is not a storable sidecar tensor dtype; "
+            f"supported: {sorted(str(d) for d in _TAG_OF_DTYPE)}"
+        ) from None
+
+
+def dtype_from_tag(tag: int) -> np.dtype:
+    """Inverse of :func:`dtype_tag` (raises on unknown tag bytes)."""
+    try:
+        return np.dtype(TENSOR_DTYPES[int(tag)])
+    except KeyError:
+        raise ValueError(f"unknown sidecar tensor dtype tag {tag!r}") from None
+
 
 def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
     """Pack non-negative integer ``codes`` of ``bits`` bits into bytes.

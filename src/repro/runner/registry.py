@@ -183,6 +183,7 @@ def serve_replay_units(
     concurrency: int = 4,
     batch_window_ms: float = 2.0,
     max_batch_size: int = 16,
+    pool_size: int = 1,
 ) -> List[UnitSpec]:
     """One serving-benchmark unit per ``(bits, seed)`` grid point.
 
@@ -190,7 +191,9 @@ def serve_replay_units(
     uniform-``bits`` CQW1 artifact of the pretrained preset under a
     concurrent request replay (micro-batched vs sequential) and archive
     the throughput/latency report, so sweeps can include serving
-    benchmarks next to accuracy grids.
+    benchmarks next to accuracy grids. ``pool_size`` fans the batched
+    replay across that many engines leased from one cached artifact
+    (the sequential baseline stays single-engine).
     """
     units = []
     for bit in bits:
@@ -199,7 +202,7 @@ def serve_replay_units(
                 UnitSpec(
                     name=(
                         f"serve-replay-{model}-{dataset}-{scale}"
-                        f"-b{int(bit)}-s{int(seed)}"
+                        f"-b{int(bit)}-s{int(seed)}-p{int(pool_size)}"
                     ),
                     target="repro.serve.replay:run_point",
                     params={
@@ -212,6 +215,7 @@ def serve_replay_units(
                         "concurrency": int(concurrency),
                         "batch_window_ms": float(batch_window_ms),
                         "max_batch_size": int(max_batch_size),
+                        "pool_size": int(pool_size),
                     },
                     render="repro.serve.replay:render",
                 )

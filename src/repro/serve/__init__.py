@@ -6,18 +6,26 @@ content-hash-keyed LRU cache (:mod:`~repro.serve.artifact`), its
 mixed-precision model reconstructed bit-exactly from the integer codes,
 and served by an :class:`~repro.serve.engine.InferenceEngine` whose
 dynamic micro-batching coalesces concurrent requests into shared
-forwards. :class:`~repro.serve.session.ServingSession` is the
-synchronous facade; :mod:`~repro.serve.replay` generates request-replay
-load and the sweepable ``serve-replay`` benchmark unit.
+forwards. The cache is **copy-on-lease**: every engine gets a private
+clone of the cached prototype, and
+:class:`~repro.serve.pool.ServingEnginePool` fans requests across any
+number of leased engines serving one artifact.
+:class:`~repro.serve.session.ServingSession` is the synchronous facade
+(``ServeConfig.engines`` picks the fan-out); :mod:`~repro.serve.replay`
+generates request-replay load and the sweepable ``serve-replay``
+benchmark unit.
 
 Design doc: ``docs/architecture.md`` (Serving section).
 """
 
 from repro.serve.artifact import (
     DEFAULT_CACHE,
+    DEFAULT_SIDECAR_DTYPE,
+    SIDECAR_DTYPES,
     ArtifactCache,
     ArtifactCacheStats,
     ArtifactManifest,
+    ModelLease,
     ServingArtifact,
     artifact_from_result,
     artifact_from_search,
@@ -34,7 +42,10 @@ from repro.serve.engine import (
     PendingPrediction,
     RequestCancelled,
     ServeStats,
+    ShutdownTimeout,
+    combine_serve_stats,
 )
+from repro.serve.pool import ServingEnginePool
 from repro.serve.replay import (
     ReplayRun,
     cycle_inputs,
@@ -49,18 +60,24 @@ __all__ = [
     "ArtifactCacheStats",
     "ArtifactManifest",
     "DEFAULT_CACHE",
+    "DEFAULT_SIDECAR_DTYPE",
     "EngineClosed",
     "InferenceEngine",
+    "ModelLease",
     "PendingPrediction",
     "ReplayRun",
     "RequestCancelled",
+    "SIDECAR_DTYPES",
     "ServeConfig",
     "ServeStats",
     "ServingArtifact",
+    "ServingEnginePool",
     "ServingSession",
+    "ShutdownTimeout",
     "artifact_from_result",
     "artifact_from_search",
     "build_serving_model",
+    "combine_serve_stats",
     "compile_artifact",
     "cycle_inputs",
     "load_artifact",

@@ -6,31 +6,46 @@ module turns that bitstream into something a server can answer
 predictions with:
 
 * **Container.** A serving artifact is a CQW1 bitstream followed by a
-  small *sidecar* section (magic ``CQS1``): a JSON manifest naming the
-  preset architecture (model, dataset, scale, seed, geometry,
+  small *sidecar* section: a JSON manifest naming the preset
+  architecture (model, dataset, scale, seed, geometry,
   ``max_bits``/``act_bits``) plus every piece of model state that is
   *not* quantized weight payload — biases, batch-norm statistics,
   calibrated activation ranges, the unquantized first/output layers.
-  Plain-CQW1 readers (:func:`repro.quant.packing.read_bitstream`)
-  ignore the sidecar; plain CQW1 files without one are rejected here
-  with a pointer to ``repro quantize --save-artifact``.
+  The sidecar comes in two layouts: legacy ``CQS1`` (every tensor
+  stored raw float64) and tagged ``CQS2`` (a per-tensor dtype byte, so
+  the unquantized tail can be stored float32 — the default — or
+  float16, keeping the artifact bytes tracking the paper's storage
+  figure instead of being dwarfed by a float64 sidecar). Writing
+  ``sidecar_dtype="float64"`` emits byte-identical legacy ``CQS1``;
+  both layouts read back. Plain-CQW1 readers
+  (:func:`repro.quant.packing.read_bitstream`) ignore the sidecar;
+  plain CQW1 files without one are rejected here with a pointer to
+  ``repro quantize --save-artifact``.
 
 * **Reconstruction.** :func:`build_serving_model` rebuilds the preset
   architecture, loads the sidecar state, overwrites each quantized
   layer's weight with :meth:`LayerExport.reconstruct` (bit-exact with
   ``effective_weight`` — the reconstruction mirrors the quantizer's
   arithmetic) and disables weight fake-quantization: the served model
-  runs forwards straight from the dequantized integer codes, and its
-  predictions are bit-exact with the fake-quantized model's forward on
-  the same inputs. That parity contract is enforced by
-  ``tests/test_serve_parity.py``.
+  runs forwards straight from the dequantized integer codes,
+  identically on every load. Against the *original* fake-quantized
+  model its predictions are bit-exact when the sidecar stored the
+  state losslessly (``sidecar_dtype="float64"``) and float32-tight
+  under the compact default (the narrowing happens once, at pack
+  time). Both contracts are enforced by ``tests/test_serve_parity.py``.
 
-* **Artifact cache.** :class:`ArtifactCache` is a content-hash-keyed
-  LRU over *built* artifacts: loading the same bitstream bytes twice
-  parses and reconstructs once. Note the cached
-  :class:`ServingArtifact` shares one model object — run concurrent
-  engines over distinct sessions of the same artifact only after
-  cloning (see the ROADMAP open item).
+* **Artifact cache, copy-on-lease.** :class:`ArtifactCache` is a
+  content-hash-keyed LRU over *built* artifacts: loading the same
+  bitstream bytes twice parses and reconstructs once. The cached
+  :class:`ServingArtifact` keeps one pristine **prototype** model;
+  engines never serve it directly. Instead :meth:`ArtifactCache.lease`
+  hands each caller a :class:`ModelLease` holding a private clone of
+  the prototype (deep copy of the parameter/buffer arrays; the parsed
+  codes and manifest stay shared — they are immutable), so N engines
+  can serve one cached artifact with zero shared mutable state.
+  Leases are refcounted: :meth:`ModelLease.release` returns the claim,
+  and eviction skips entries with active leases so the clone source
+  survives its tenants.
 """
 
 from __future__ import annotations
@@ -50,15 +65,37 @@ import numpy as np
 from repro.nn.module import Module
 from repro.quant.bitmap import BitWidthMap
 from repro.quant.export import (
+    STORAGE_DTYPE_BITS,
     QuantizedExport,
     export_quantized_weights,
     verify_export,
 )
-from repro.quant.packing import ByteReader, read_export, serialize_export
+from repro.quant.packing import (
+    ByteReader,
+    dtype_from_tag,
+    dtype_tag,
+    read_export,
+    serialize_export,
+)
 from repro.quant.qmodules import apply_bit_map, quantize_model, quantized_layers
 from repro.utils.misc import clone_module
 
 SIDECAR_MAGIC = b"CQS1"
+"""Legacy sidecar layout: every tensor stored raw float64, untagged."""
+
+SIDECAR_MAGIC_V2 = b"CQS2"
+"""Tagged sidecar layout: a dtype byte per tensor (see ``TENSOR_DTYPES``)."""
+
+#: Storage dtypes :func:`serialize_artifact` accepts for the sidecar.
+#: ``float64`` emits the legacy ``CQS1`` layout byte for byte; the rest
+#: emit tagged ``CQS2``. Derived from the authoritative bit-cost table
+#: in :mod:`repro.quant.export` so the two can never drift.
+SIDECAR_DTYPES = {
+    name: np.dtype(f"<f{bits // 8}")
+    for name, bits in STORAGE_DTYPE_BITS.items()
+}
+
+DEFAULT_SIDECAR_DTYPE = "float32"
 
 PathLike = Union[str, Path]
 
@@ -137,21 +174,34 @@ def _serving_state(model: Module) -> "OrderedDict[str, np.ndarray]":
     return state
 
 
-def _pack_sidecar(manifest: ArtifactManifest, state: Dict[str, np.ndarray]) -> bytes:
+def _pack_sidecar(
+    manifest: ArtifactManifest,
+    state: Dict[str, np.ndarray],
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
+) -> bytes:
+    if sidecar_dtype not in SIDECAR_DTYPES:
+        raise ValueError(
+            f"unknown sidecar dtype {sidecar_dtype!r}; "
+            f"supported: {sorted(SIDECAR_DTYPES)}"
+        )
+    dtype = SIDECAR_DTYPES[sidecar_dtype]
+    legacy = sidecar_dtype == "float64"
     manifest_bytes = json.dumps(
         manifest.to_dict(), sort_keys=True, allow_nan=False
     ).encode("utf-8")
     chunks = [
-        SIDECAR_MAGIC,
+        SIDECAR_MAGIC if legacy else SIDECAR_MAGIC_V2,
         struct.pack("<I", len(manifest_bytes)),
         manifest_bytes,
         struct.pack("<I", len(state)),
     ]
     for name, array in state.items():
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array, dtype=dtype)
         name_bytes = name.encode("utf-8")
         chunks.append(struct.pack("<H", len(name_bytes)))
         chunks.append(name_bytes)
+        if not legacy:
+            chunks.append(struct.pack("<B", dtype_tag(array.dtype)))
         chunks.append(struct.pack("<B", array.ndim))
         chunks.append(struct.pack(f"<{array.ndim}I", *array.shape))
         chunks.append(array.tobytes())
@@ -159,28 +209,56 @@ def _pack_sidecar(manifest: ArtifactManifest, state: Dict[str, np.ndarray]) -> b
 
 
 def _unpack_sidecar(reader: ByteReader):
+    """Parse a CQS1/CQS2 sidecar; returns (manifest, state, dtype name).
+
+    State arrays come back float64 (the model's compute dtype) whatever
+    they were stored in; the returned dtype name records the storage
+    form (``"mixed"`` if a CQS2 sidecar carries more than one tag).
+    """
     if reader.remaining() == 0:
         raise ValueError(
             "CQW1 bitstream has no serving sidecar; write one with "
             "`repro quantize --save-artifact` or save_artifact()"
         )
-    if reader.take_bytes(4) != SIDECAR_MAGIC:
-        raise ValueError("unknown section after CQW1 frames (expected CQS1 sidecar)")
+    magic = reader.take_bytes(4)
+    if magic not in (SIDECAR_MAGIC, SIDECAR_MAGIC_V2):
+        raise ValueError(
+            "unknown section after CQW1 frames (expected CQS1/CQS2 sidecar)"
+        )
+    tagged = magic == SIDECAR_MAGIC_V2
     (manifest_len,) = reader.take("<I")
     manifest = ArtifactManifest.from_dict(
         json.loads(reader.take_bytes(manifest_len).decode("utf-8"))
     )
     (tensor_count,) = reader.take("<I")
     state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    seen_dtypes = set()
     for _ in range(tensor_count):
         (name_len,) = reader.take("<H")
         name = reader.take_bytes(name_len).decode("utf-8")
+        if tagged:
+            (tag,) = reader.take("<B")
+            dtype = dtype_from_tag(tag)
+        else:
+            dtype = SIDECAR_DTYPES["float64"]
         (ndim,) = reader.take("<B")
         shape = reader.take(f"<{ndim}I") if ndim else ()
         count = int(np.prod(shape)) if shape else 1
-        payload = reader.take_bytes(count * 8)
-        state[name] = np.frombuffer(payload, dtype="<f8").reshape(shape).copy()
-    return manifest, state
+        payload = reader.take_bytes(count * dtype.itemsize)
+        state[name] = (
+            np.frombuffer(payload, dtype=dtype).reshape(shape).astype(np.float64)
+        )
+        seen_dtypes.add(dtype)
+    if not tagged or not seen_dtypes:
+        sidecar_dtype = "float64"
+    elif len(seen_dtypes) > 1:
+        sidecar_dtype = "mixed"
+    else:
+        only = seen_dtypes.pop()
+        sidecar_dtype = next(
+            name for name, dt in SIDECAR_DTYPES.items() if dt == only
+        )
+    return manifest, state, sidecar_dtype
 
 
 # ----------------------------------------------------------------------
@@ -188,7 +266,7 @@ def _unpack_sidecar(reader: ByteReader):
 # ----------------------------------------------------------------------
 @dataclass
 class ServingArtifact:
-    """Parsed artifact plus the lazily built serving model."""
+    """Parsed artifact plus the lazily built serving-model prototype."""
 
     manifest: ArtifactManifest
     export: QuantizedExport
@@ -200,13 +278,48 @@ class ServingArtifact:
     data: Optional[bytes] = field(default=None, repr=False)
     """The exact serialized bytes this artifact was parsed from."""
 
+    payload_nbytes: int = 0
+    """Bytes of the CQW1 frames (the paper's storage figure, physical)."""
+
+    sidecar_nbytes: int = 0
+    """Bytes of the CQS1/CQS2 sidecar (manifest + non-payload state)."""
+
+    sidecar_dtype: str = "float64"
+    """Storage dtype the sidecar tensors were framed in."""
+
     _model: Optional[Module] = field(default=None, repr=False)
+    _model_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def model(self) -> Module:
-        """The reconstructed serving model (built once, then reused)."""
-        if self._model is None:
-            self._model = build_serving_model(self)
-        return self._model
+        """The reconstructed serving model (built once, then reused).
+
+        This is the cache's **prototype**: the clone source for leases.
+        Do not hand it to an engine while other leases may be cut from
+        it — serve :meth:`clone_model` copies instead.
+        """
+        with self._model_lock:
+            if self._model is None:
+                self._model = build_serving_model(self)
+            return self._model
+
+    def clone_model(self) -> Module:
+        """A private, bit-identical deep copy of the prototype model.
+
+        Parameter and buffer arrays are copied; the parsed integer
+        codes, manifest and serialized bytes stay shared through this
+        artifact (they are immutable after parse). This is the
+        copy-on-lease primitive behind :meth:`ArtifactCache.lease`.
+        """
+        return clone_module(self.model())
+
+    def size_breakdown(self) -> str:
+        """One-line payload-vs-sidecar byte accounting."""
+        return (
+            f"{self.nbytes} bytes (payload {self.payload_nbytes} + "
+            f"sidecar {self.sidecar_nbytes} @ {self.sidecar_dtype})"
+        )
 
     def save(self, path: PathLike) -> int:
         """Write the artifact's serialized bytes to ``path``.
@@ -223,20 +336,38 @@ class ServingArtifact:
 
 
 def serialize_artifact(
-    model: Module, manifest: ArtifactManifest, verify: bool = True
+    model: Module,
+    manifest: ArtifactManifest,
+    verify: bool = True,
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
 ) -> bytes:
-    """Frame a quantized model as CQW1 frames + serving sidecar."""
+    """Frame a quantized model as CQW1 frames + serving sidecar.
+
+    ``sidecar_dtype`` picks the storage form of the non-payload state
+    (default float32; ``"float64"`` emits the legacy lossless CQS1
+    layout, ``"float16"`` the aggressive tail option). Narrow dtypes
+    round the stored state — the served model then computes from the
+    rounded values, deterministically on every load.
+    """
     export = export_quantized_weights(model)
     if verify:
         verify_export(model, export, strict=True)
-    return serialize_export(export) + _pack_sidecar(manifest, _serving_state(model))
+    return serialize_export(export) + _pack_sidecar(
+        manifest, _serving_state(model), sidecar_dtype=sidecar_dtype
+    )
 
 
 def save_artifact(
-    path: PathLike, model: Module, manifest: ArtifactManifest, verify: bool = True
+    path: PathLike,
+    model: Module,
+    manifest: ArtifactManifest,
+    verify: bool = True,
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
 ) -> int:
     """Write a serving artifact to ``path``; returns the byte count."""
-    data = serialize_artifact(model, manifest, verify=verify)
+    data = serialize_artifact(
+        model, manifest, verify=verify, sidecar_dtype=sidecar_dtype
+    )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_bytes(data)
@@ -244,11 +375,12 @@ def save_artifact(
 
 
 def load_artifact_bytes(data: bytes) -> ServingArtifact:
-    """Parse serialized artifact bytes (CQW1 frames + CQS1 sidecar)."""
+    """Parse serialized artifact bytes (CQW1 frames + CQS1/CQS2 sidecar)."""
     data = bytes(data)
     reader = ByteReader(data)
     export = read_export(reader)
-    manifest, state = _unpack_sidecar(reader)
+    payload_nbytes = reader.offset
+    manifest, state, sidecar_dtype = _unpack_sidecar(reader)
     return ServingArtifact(
         manifest=manifest,
         export=export,
@@ -256,6 +388,9 @@ def load_artifact_bytes(data: bytes) -> ServingArtifact:
         content_key=hashlib.sha256(data).hexdigest()[:16],
         nbytes=len(data),
         data=data,
+        payload_nbytes=payload_nbytes,
+        sidecar_nbytes=len(data) - payload_nbytes,
+        sidecar_dtype=sidecar_dtype,
     )
 
 
@@ -310,11 +445,18 @@ def build_serving_model(artifact: ServingArtifact) -> Module:
 # Compilation from pipeline outputs
 # ----------------------------------------------------------------------
 def compile_artifact(
-    model: Module, manifest: ArtifactManifest, verify: bool = True
+    model: Module,
+    manifest: ArtifactManifest,
+    verify: bool = True,
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
 ) -> ServingArtifact:
     """In-memory compile: serialize then parse, so the content key (and
     every load-path check) matches a save/load round trip exactly."""
-    return load_artifact_bytes(serialize_artifact(model, manifest, verify=verify))
+    return load_artifact_bytes(
+        serialize_artifact(
+            model, manifest, verify=verify, sidecar_dtype=sidecar_dtype
+        )
+    )
 
 
 def artifact_from_result(
@@ -325,6 +467,7 @@ def artifact_from_result(
     scale: str = "tiny",
     seed: int = 0,
     extra: Optional[Dict[str, object]] = None,
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
 ) -> ServingArtifact:
     """Compile a :class:`~repro.core.pipeline.CQResult` into an artifact."""
     if result.config is None:
@@ -349,11 +492,14 @@ def artifact_from_result(
         act_bits=result.config.act_bits,
         extra=figures,
     )
-    return compile_artifact(result.model, manifest)
+    return compile_artifact(result.model, manifest, sidecar_dtype=sidecar_dtype)
 
 
 def artifact_from_search(
-    model: Module, search, manifest: ArtifactManifest
+    model: Module,
+    search,
+    manifest: ArtifactManifest,
+    sidecar_dtype: str = DEFAULT_SIDECAR_DTYPE,
 ) -> ServingArtifact:
     """Compile a float model + search result (or bare bit map) directly.
 
@@ -364,23 +510,76 @@ def artifact_from_search(
     student = clone_module(model)
     quantize_model(student, max_bits=manifest.max_bits, act_bits=manifest.act_bits)
     apply_bit_map(student, bit_map)
-    return compile_artifact(student, manifest)
+    return compile_artifact(student, manifest, sidecar_dtype=sidecar_dtype)
 
 
 # ----------------------------------------------------------------------
-# Content-hash-keyed LRU artifact cache
+# Content-hash-keyed LRU artifact cache (copy-on-lease)
 # ----------------------------------------------------------------------
 @dataclass
 class ArtifactCacheStats:
     hits: int = 0
     misses: int = 0
+    races: int = 0
+    """Duplicate builds that lost a concurrent-load race: the work was
+    done but thrown away, so it is neither a hit (no work saved) nor a
+    miss (the build did not enter the cache)."""
+
     evictions: int = 0
+    leases: int = 0
+    releases: int = 0
+
+    @property
+    def loads(self) -> int:
+        """Load calls answered; ``hits + misses + races`` by identity."""
+        return self.hits + self.misses + self.races
 
     def summary(self) -> str:
         return (
             f"artifact cache: {self.hits} hits, {self.misses} misses, "
-            f"{self.evictions} evictions"
+            f"{self.races} races, {self.evictions} evictions, "
+            f"{self.leases} leases ({self.leases - self.releases} active)"
         )
+
+
+class ModelLease:
+    """One engine's private claim on a cached artifact.
+
+    ``artifact`` is the shared, immutable :class:`ServingArtifact`;
+    ``model`` is a private clone of its prototype — the holder owns it
+    outright (hand it to an :class:`~repro.serve.engine.InferenceEngine`
+    worker, mutate it, whatever). :meth:`release` returns the claim to
+    the cache; idempotent, and usable as a context manager.
+    """
+
+    __slots__ = ("artifact", "model", "_cache", "_released")
+
+    def __init__(self, cache: "ArtifactCache", artifact: ServingArtifact, model: Module):
+        self.artifact = artifact
+        self.model = model
+        self._cache = cache
+        self._released = False
+
+    @property
+    def content_key(self) -> str:
+        return self.artifact.content_key
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Return the claim (idempotent); the model stays usable but the
+        cache no longer counts it against eviction protection."""
+        if not self._released:
+            self._released = True
+            self._cache._release(self.artifact.content_key)
+
+    def __enter__(self) -> "ModelLease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
 
 
 class ArtifactCache:
@@ -388,8 +587,14 @@ class ArtifactCache:
 
     The key is the SHA-256 of the serialized bytes, so identical
     bitstreams are recognised wherever they live on disk. A miss parses
-    the artifact **and** eagerly builds its serving model, so a hit is
-    genuinely free — no re-quantization, no reconstruction.
+    the artifact **and** eagerly builds its serving-model prototype, so
+    a hit is genuinely free — no re-quantization, no reconstruction.
+
+    Concurrent engines go through :meth:`lease`: each lease clones the
+    prototype (copy-on-lease) and bumps a per-entry refcount; eviction
+    skips entries with active leases (temporarily exceeding
+    ``capacity`` if every entry is leased) so the clone source is never
+    rebuilt while tenants hold it.
     """
 
     def __init__(self, capacity: int = 4):
@@ -398,6 +603,7 @@ class ArtifactCache:
         self.capacity = capacity
         self.stats = ArtifactCacheStats()
         self._entries: "OrderedDict[str, ServingArtifact]" = OrderedDict()
+        self._refcounts: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -422,16 +628,105 @@ class ArtifactCache:
             existing = self._entries.get(key)
             if existing is not None:  # lost a race; keep the first build
                 self._entries.move_to_end(key)
-                self.stats.hits += 1
+                self.stats.races += 1
                 return existing
             self._entries[key] = artifact
             self.stats.misses += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_locked()
         return artifact
 
+    def lease(
+        self, source: Union[PathLike, bytes, "ServingArtifact"]
+    ) -> ModelLease:
+        """Claim a private model clone of ``source`` through the cache.
+
+        ``source`` may be an artifact path, serialized bytes, or an
+        already-parsed :class:`ServingArtifact` (adopted into the cache
+        by content key). The first lease of an uncached artifact pays
+        the parse+build once; every further lease is a cache hit plus a
+        cheap parameter-array clone. Release with
+        :meth:`ModelLease.release` (or use the lease as a context
+        manager) so eviction can reclaim the entry.
+        """
+        if isinstance(source, ServingArtifact):
+            artifact = self._adopt(source)
+        elif isinstance(source, (bytes, bytearray, memoryview)):
+            artifact = self.load_bytes(bytes(source))
+        elif isinstance(source, (str, Path)):
+            artifact = self.load(source)
+        else:
+            raise TypeError(
+                f"lease source must be a path, bytes or ServingArtifact, "
+                f"got {type(source)}"
+            )
+        key = artifact.content_key
+        with self._lock:
+            self._refcounts[key] = self._refcounts.get(key, 0) + 1
+            self.stats.leases += 1
+        try:
+            model = artifact.clone_model()
+        except BaseException:
+            self._release(key)
+            raise
+        return ModelLease(self, artifact, model)
+
+    def active_leases(self) -> int:
+        """Total outstanding (unreleased) leases across all entries."""
+        with self._lock:
+            return sum(self._refcounts.values())
+
+    def _adopt(self, artifact: ServingArtifact) -> ServingArtifact:
+        """Insert an already-parsed artifact under its content key."""
+        if not artifact.content_key:
+            raise ValueError("artifact has no content key (not load-path built)")
+        with self._lock:  # fast path: don't build a prototype just to drop it
+            existing = self._entries.get(artifact.content_key)
+            if existing is not None:
+                self._entries.move_to_end(artifact.content_key)
+                self.stats.hits += 1
+                return existing
+        artifact.model()  # ensure the prototype exists outside the lock
+        with self._lock:
+            existing = self._entries.get(artifact.content_key)
+            if existing is not None:  # lost a race; keep the first build
+                self._entries.move_to_end(artifact.content_key)
+                self.stats.races += 1
+                return existing
+            self._entries[artifact.content_key] = artifact
+            self.stats.misses += 1
+            self._evict_locked()
+        return artifact
+
+    def _release(self, key: str) -> None:
+        with self._lock:
+            count = self._refcounts.get(key, 0)
+            if count <= 0:
+                raise ValueError(f"no active lease on artifact {key!r}")
+            if count == 1:
+                del self._refcounts[key]
+            else:
+                self._refcounts[key] = count - 1
+            self.stats.releases += 1
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (
+                    key
+                    for key in self._entries  # OrderedDict: LRU first
+                    if self._refcounts.get(key, 0) == 0
+                ),
+                None,
+            )
+            if victim is None:
+                break  # every entry is leased: overshoot rather than orphan
+            del self._entries[victim]
+            self.stats.evictions += 1
+
     def clear(self) -> None:
+        """Drop every cached entry (outstanding leases stay valid — they
+        hold their own artifact and model references)."""
         with self._lock:
             self._entries.clear()
 

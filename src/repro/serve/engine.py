@@ -50,6 +50,25 @@ class RequestCancelled(RuntimeError):
     running the request (``close(drain=False)``)."""
 
 
+class ShutdownTimeout(RuntimeError):
+    """Raised by ``close(timeout=...)`` when the worker thread is still
+    alive after the join window — the engine is **not** closed yet;
+    call ``close()`` again (or with a longer timeout) to keep waiting."""
+
+
+def _model_input_dtype(model: Module) -> np.dtype:
+    """The dtype the served model computes in (its parameters' dtype).
+
+    Inputs are coerced to this before batching, so the engine never
+    silently upcasts (or downcasts) relative to a direct forward — the
+    parity contract's replay must see the same bytes the worker saw.
+    Parameter-free models default to float64, the stack's native dtype.
+    """
+    for _name, param in model.named_parameters():
+        return np.dtype(param.data.dtype)
+    return np.dtype(np.float64)
+
+
 @dataclass
 class ServeStats:
     """Cost and latency counters of one engine (mirrors ``EvalStats``)."""
@@ -89,6 +108,15 @@ class ServeStats:
     )
     """Latency samples of the most recent completed requests (bounded
     to :data:`LATENCY_WINDOW`, completion order)."""
+
+    artifact_nbytes: int = 0
+    """Total bytes of the served artifact (0 for bare-model engines)."""
+
+    payload_nbytes: int = 0
+    """CQW1 payload bytes of the served artifact."""
+
+    sidecar_nbytes: int = 0
+    """CQS1/CQS2 sidecar bytes of the served artifact."""
 
     @property
     def served(self) -> int:
@@ -130,16 +158,68 @@ class ServeStats:
             f"max {self.max_latency_s * 1e3:.2f} ms",
             f"forward wall: {self.total_forward_s:.3f} s",
         ]
+        if self.artifact_nbytes:
+            lines.append(
+                f"artifact: {self.artifact_nbytes} bytes "
+                f"(payload {self.payload_nbytes}, sidecar {self.sidecar_nbytes})"
+            )
         return "\n".join(lines)
+
+
+def combine_serve_stats(snapshots) -> "ServeStats":
+    """Aggregate per-engine stat snapshots into one pool-level view.
+
+    Counters and wall-clock sums add across engines; high-water marks
+    take the maximum (engine queues are disjoint, so summing depths
+    would describe a moment that never existed); the latency window
+    takes an even share of each engine's recent samples, so one
+    engine's full window cannot displace the others from the merged
+    percentiles. Artifact byte figures take the max — a pool's engines
+    serve clones of one artifact, so summing would multiply its size
+    by the engine count.
+    """
+    snapshots = list(snapshots)
+    window_share = max(1, LATENCY_WINDOW // max(1, len(snapshots)))
+    merged = ServeStats()
+    for stats in snapshots:
+        merged.requests += stats.requests
+        merged.completed += stats.completed
+        merged.errors += stats.errors
+        merged.cancelled += stats.cancelled
+        merged.forwards += stats.forwards
+        merged.coalesced_forwards += stats.coalesced_forwards
+        merged.batched_requests += stats.batched_requests
+        merged.max_batch_seen = max(merged.max_batch_seen, stats.max_batch_seen)
+        merged.max_queue_depth = max(merged.max_queue_depth, stats.max_queue_depth)
+        merged.total_forward_s += stats.total_forward_s
+        merged.total_latency_s += stats.total_latency_s
+        merged.max_latency_s = max(merged.max_latency_s, stats.max_latency_s)
+        merged.artifact_nbytes = max(merged.artifact_nbytes, stats.artifact_nbytes)
+        merged.payload_nbytes = max(merged.payload_nbytes, stats.payload_nbytes)
+        merged.sidecar_nbytes = max(merged.sidecar_nbytes, stats.sidecar_nbytes)
+        merged.latencies_s.extend(list(stats.latencies_s)[-window_share:])
+    return merged
 
 
 class PendingPrediction:
     """Handle to one in-flight request (a minimal synchronous future)."""
 
-    __slots__ = ("request_id", "latency_s", "_event", "_value", "_error")
+    __slots__ = (
+        "request_id",
+        "engine_index",
+        "latency_s",
+        "_event",
+        "_value",
+        "_error",
+    )
 
     def __init__(self, request_id: int):
         self.request_id = request_id
+        self.engine_index = 0
+        """Which pool engine serves this request (0 outside a pool);
+        request ids are only unique per engine, so (engine_index,
+        request_id) is the global identity."""
+
         self.latency_s: Optional[float] = None
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
@@ -212,6 +292,7 @@ class InferenceEngine:
             raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
         self._model = model
         model.eval()
+        self.input_dtype = _model_input_dtype(model)
         self.batch_window_s = float(batch_window_s)
         self.max_batch_size = int(max_batch_size)
         self._cond = threading.Condition()
@@ -248,7 +329,12 @@ class InferenceEngine:
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut down. ``drain=True`` answers every queued request first;
-        ``drain=False`` cancels them. Idempotent."""
+        ``drain=False`` cancels them. Idempotent.
+
+        With a ``timeout``, raises :class:`ShutdownTimeout` if the
+        worker is still alive after the join window — the engine is not
+        closed in that case, and a later ``close()`` keeps waiting.
+        """
         with self._cond:
             already_closing = self._closing
             self._closing = True
@@ -257,6 +343,12 @@ class InferenceEngine:
             self._cond.notify_all()
         if thread is not None:
             thread.join(timeout)
+            if thread.is_alive():
+                raise ShutdownTimeout(
+                    f"engine worker still running after {timeout} s "
+                    f"(draining={self._drain_on_close}); call close() again "
+                    "to keep waiting"
+                )
             return
         if already_closing:
             return
@@ -289,8 +381,14 @@ class InferenceEngine:
     # Request side
     # ------------------------------------------------------------------
     def submit(self, x) -> PendingPrediction:
-        """Enqueue one input; returns immediately with a handle."""
-        array = np.asarray(x, dtype=np.float64)
+        """Enqueue one input; returns immediately with a handle.
+
+        The input is coerced to the served model's own dtype
+        (:data:`input_dtype`), not a hard-coded float64 — so a float32
+        model is fed float32 and the replayed parity comparison sees
+        exactly the bytes the worker batched.
+        """
+        array = np.asarray(x, dtype=self.input_dtype)
         with self._cond:
             if self._closing:
                 raise EngineClosed("engine is closed")
@@ -329,6 +427,16 @@ class InferenceEngine:
         """A consistent snapshot of the live counters."""
         with self._cond:
             return self._stats.snapshot()
+
+    def annotate_artifact(
+        self, nbytes: int, payload_nbytes: int, sidecar_nbytes: int
+    ) -> None:
+        """Record the served artifact's byte breakdown in the stats, so
+        size figures ride along with every throughput/latency report."""
+        with self._cond:
+            self._stats.artifact_nbytes = int(nbytes)
+            self._stats.payload_nbytes = int(payload_nbytes)
+            self._stats.sidecar_nbytes = int(sidecar_nbytes)
 
     @property
     def records_batches(self) -> bool:

@@ -1,0 +1,168 @@
+"""Multi-engine fan-out: N engines serving clones of one artifact.
+
+:class:`ServingEnginePool` owns a set of
+:class:`~repro.serve.engine.InferenceEngine` instances — one per model
+clone, typically cut from a cached artifact with
+:meth:`~repro.serve.artifact.ArtifactCache.lease` — and fans incoming
+requests across them round-robin. Each engine keeps its own worker
+thread, queue and micro-batching window, so the pool multiplies the
+serving capacity of one packed artifact without any shared mutable
+state between engines: the only thing the engines share is the parsed
+(immutable) artifact their models were cloned from.
+
+Request identity: engine-local request ids collide across a pool, so
+every :class:`~repro.serve.engine.PendingPrediction` returned here
+carries ``engine_index`` — ``(engine_index, request_id)`` is the
+global identity, which is how the replay verifier maps answers back to
+the engine (and model clone) that produced them.
+
+The pool's ``stats`` property aggregates the per-engine counters with
+:func:`~repro.serve.engine.combine_serve_stats`;
+``per_engine_stats()`` exposes the unmerged views for balance checks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.serve.engine import (
+    InferenceEngine,
+    PendingPrediction,
+    ServeStats,
+    ShutdownTimeout,
+    combine_serve_stats,
+)
+
+
+class ServingEnginePool:
+    """Round-robin request fan-out over independently batched engines.
+
+    Parameters mirror :class:`InferenceEngine`; each model in
+    ``models`` gets its own engine (and worker thread). The models must
+    be distinct objects — an engine's worker assumes exclusive
+    ownership of its model, which is exactly what copy-on-lease clones
+    provide.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Module],
+        batch_window_s: float = 0.002,
+        max_batch_size: int = 16,
+        record_batches: bool = False,
+        autostart: bool = True,
+    ):
+        models = list(models)
+        if not models:
+            raise ValueError("pool needs at least one model")
+        if len(set(map(id, models))) != len(models):
+            raise ValueError(
+                "pool models must be distinct objects (lease one clone "
+                "per engine; engines assume exclusive ownership)"
+            )
+        self._engines: Tuple[InferenceEngine, ...] = tuple(
+            InferenceEngine(
+                model,
+                batch_window_s=batch_window_s,
+                max_batch_size=max_batch_size,
+                record_batches=record_batches,
+                autostart=autostart,
+            )
+            for model in models
+        )
+        self._lock = threading.Lock()
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def engines(self) -> Tuple[InferenceEngine, ...]:
+        return self._engines
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    @property
+    def input_dtype(self) -> np.dtype:
+        """The served models' compute dtype (identical across clones)."""
+        return self._engines[0].input_dtype
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    def submit(self, x) -> PendingPrediction:
+        """Enqueue one input on the next engine (round-robin)."""
+        with self._lock:
+            index = self._next
+            self._next = (self._next + 1) % len(self._engines)
+        pending = self._engines[index].submit(x)
+        pending.engine_index = index
+        return pending
+
+    def predict(self, x, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous single prediction through the pool."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every engine's worker thread (idempotent)."""
+        for engine in self._engines:
+            engine.start()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every engine has answered its queued requests."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for engine in self._engines:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            engine.drain(timeout=remaining)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut every engine down; the ``timeout`` bounds the whole pool.
+
+        Every engine is asked to close even if an earlier one timed
+        out; if any worker outlived the window a single
+        :class:`ShutdownTimeout` naming the laggards is raised — the
+        pool is then *not* closed, and a later ``close()`` keeps
+        waiting, mirroring the single-engine contract.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        laggards: List[int] = []
+        for index, engine in enumerate(self._engines):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                engine.close(drain=drain, timeout=remaining)
+            except ShutdownTimeout:
+                laggards.append(index)
+        if laggards:
+            raise ShutdownTimeout(
+                f"engines {laggards} still running after {timeout} s; "
+                "call close() again to keep waiting"
+            )
+
+    def __enter__(self) -> "ServingEnginePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServeStats:
+        """Aggregated snapshot across all engines."""
+        return combine_serve_stats(engine.stats for engine in self._engines)
+
+    def per_engine_stats(self) -> List[ServeStats]:
+        """Unmerged per-engine snapshots, pool order."""
+        return [engine.stats for engine in self._engines]

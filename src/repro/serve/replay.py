@@ -37,7 +37,12 @@ class ReplayRun:
     """Logits, row ``i`` answering ``inputs[i]``."""
 
     request_ids: List[int] = field(default_factory=list, repr=False)
-    """Engine request id of each input row (for batch replay)."""
+    """Engine-local request id of each input row (for batch replay)."""
+
+    engine_indices: List[int] = field(default_factory=list, repr=False)
+    """Pool engine that served each row; request ids are only unique
+    per engine, so ``(engine_indices[i], request_ids[i])`` is the
+    global identity of row ``i``."""
 
 
 def cycle_inputs(images: np.ndarray, count: int) -> np.ndarray:
@@ -65,18 +70,22 @@ def replay_requests(
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-    # Cast once, up front: the engine serves float64, and the parity
-    # check must replay the same bytes the engine saw.
-    inputs = np.asarray(inputs, dtype=np.float64)
+    # Cast once, up front, to the served model's own dtype: the parity
+    # check must replay the same bytes the engines saw.
+    inputs = np.asarray(inputs, dtype=session.input_dtype)
     count = len(inputs)
     if count < 1:
         raise ValueError("replay needs at least one request")
     outputs: List[Optional[np.ndarray]] = [None] * count
     request_ids: List[int] = [-1] * count
+    engine_indices: List[int] = [0] * count
     latencies = np.zeros(count)
     failures: List[BaseException] = []
-    engine = session.engine
-    batches_before = len(engine.executed_batches()) if engine.records_batches else 0
+    engines = session.engines
+    records = all(engine.records_batches for engine in engines)
+    batches_before = (
+        [len(engine.executed_batches()) for engine in engines] if records else None
+    )
     before = session.stats
 
     def client(offset: int) -> None:
@@ -84,6 +93,7 @@ def replay_requests(
             for index in range(offset, count, concurrency):
                 pending = session.submit(inputs[index])
                 request_ids[index] = pending.request_id
+                engine_indices[index] = pending.engine_index
                 outputs[index] = pending.result()
                 latencies[index] = pending.latency_s
         except BaseException as exc:  # surfaced to the caller below
@@ -105,9 +115,15 @@ def replay_requests(
 
     forwards = after.forwards - before.forwards
     served = after.served - before.served
-    if engine.records_batches:
-        replay_batches = engine.executed_batches()[batches_before:]
-        max_batch = max((len(batch) for batch in replay_batches), default=0)
+    if records:
+        max_batch = max(
+            (
+                len(batch)
+                for engine, skip in zip(engines, batches_before)
+                for batch in engine.executed_batches()[skip:]
+            ),
+            default=0,
+        )
     else:
         # Engine-lifetime high-water mark — exact when this replay is
         # the session's only traffic (the CLI/run_point case).
@@ -115,6 +131,7 @@ def replay_requests(
     payload = {
         "requests": count,
         "concurrency": int(concurrency),
+        "engines": len(engines),
         "wall_s": float(wall_s),
         "throughput_rps": float(count / wall_s) if wall_s > 0 else 0.0,
         "forwards": int(forwards),
@@ -131,49 +148,74 @@ def replay_requests(
         payload=payload,
         outputs=np.stack(outputs),
         request_ids=request_ids,
+        engine_indices=engine_indices,
     )
 
 
 def verify_replay(session: ServingSession, inputs: np.ndarray, run: ReplayRun) -> int:
     """Bit-exact parity check: re-run every recorded batch directly.
 
-    Requires the session's engine to record batches
+    Requires the session's engines to record batches
     (``ServeConfig(record_batches=True)``). Each executed batch is
-    replayed through the model in one forward — the same computation the
-    engine performed — and compared to the served answers **bitwise**.
-    Returns the number of verified requests; raises ``AssertionError``
-    on the first mismatch. Batches that also carried non-replay traffic
-    (e.g. a ``warmup`` request whose input this function cannot know)
-    are skipped, so compare the return value against your request count
-    to detect partial coverage.
+    replayed through the engine's own model in one forward — the same
+    computation the engine performed — and compared to the served
+    answers **bitwise**. Multi-engine sessions verify every engine
+    against its own model clone (clones are bit-identical, so this is
+    also cross-engine parity). Returns the number of verified requests;
+    raises ``AssertionError`` on the first mismatch. Batches that also
+    carried non-replay traffic (e.g. a ``warmup`` request whose input
+    this function cannot know) are skipped, so compare the return value
+    against your request count to detect partial coverage.
     """
     from repro.tensor.tensor import Tensor, no_grad
 
-    inputs = np.asarray(inputs, dtype=np.float64)  # what the engine served
-    index_of = {rid: i for i, rid in enumerate(run.request_ids)}
-    model = session.model
+    inputs = np.asarray(inputs, dtype=session.input_dtype)  # what the engines served
+    engine_indices = run.engine_indices
+    if not engine_indices:
+        if len(session.engines) > 1:
+            # Request ids are engine-local and collide across a pool:
+            # without the engine map we would attribute rows to the
+            # wrong engine and "verify" garbage. Fail loudly instead.
+            raise ValueError(
+                "ReplayRun carries no engine_indices but the session has "
+                f"{len(session.engines)} engines; record "
+                "pending.engine_index alongside pending.request_id"
+            )
+        engine_indices = [0] * len(run.request_ids)
     verified = 0
-    for batch in session.engine.executed_batches():
-        rows = [index_of[rid] for rid in batch if rid in index_of]
-        if len(rows) != len(batch):
-            continue  # batch contains non-replay traffic (e.g. warmup)
-        with no_grad():
-            reference = model(Tensor(np.stack([inputs[row] for row in rows]))).data
-        for position, row in enumerate(rows):
-            if not np.array_equal(run.outputs[row], reference[position]):
-                raise AssertionError(
-                    f"request {run.request_ids[row]} (input row {row}) is not "
-                    f"bit-exact with the model's forward on its executed batch"
-                )
-            verified += 1
+    for engine_index, (engine, model) in enumerate(
+        zip(session.engines, session.models)
+    ):
+        index_of = {
+            rid: row
+            for row, (eng, rid) in enumerate(zip(engine_indices, run.request_ids))
+            if eng == engine_index
+        }
+        for batch in engine.executed_batches():
+            rows = [index_of[rid] for rid in batch if rid in index_of]
+            if len(rows) != len(batch):
+                continue  # batch contains non-replay traffic (e.g. warmup)
+            with no_grad():
+                reference = model(Tensor(np.stack([inputs[row] for row in rows]))).data
+            for position, row in enumerate(rows):
+                if not np.array_equal(run.outputs[row], reference[position]):
+                    raise AssertionError(
+                        f"request {run.request_ids[row]} (engine {engine_index}, "
+                        f"input row {row}) is not bit-exact with the model's "
+                        f"forward on its executed batch"
+                    )
+                verified += 1
     return verified
 
 
 def render_replay(payload: Dict[str, object], title: str = "replay") -> str:
     """One-paragraph human rendering of a replay payload."""
     latency = payload["latency_ms"]
+    engines = int(payload.get("engines", 1))
+    engines_note = f" over {engines} engines" if engines > 1 else ""
     return (
-        f"{title}: {payload['requests']} requests x{payload['concurrency']} clients "
+        f"{title}: {payload['requests']} requests x{payload['concurrency']} clients"
+        f"{engines_note} "
         f"in {payload['wall_s']:.3f} s -> {payload['throughput_rps']:.1f} req/s | "
         f"{payload['forwards']} forwards (mean batch {payload['mean_batch_size']:.2f}, "
         f"max {payload['max_batch_seen']}) | latency ms: "
@@ -232,13 +274,16 @@ def run_point(
     concurrency: int = 4,
     batch_window_ms: float = 2.0,
     max_batch_size: int = 16,
+    pool_size: int = 1,
     compare_sequential: bool = True,
 ) -> Dict[str, object]:
     """One serving-benchmark grid point (a runner-unit target).
 
     Serves a uniform-``bits`` artifact of the pretrained preset under a
-    concurrent replay, optionally against a sequential
-    (``max_batch_size=1``) baseline, and returns the JSON-able report.
+    concurrent replay — fanned out across ``pool_size`` engines leased
+    from one artifact — optionally against a sequential
+    (``max_batch_size=1``, single-engine) baseline, and returns the
+    JSON-able report.
     """
     from repro.experiments.presets import get_dataset
 
@@ -248,13 +293,16 @@ def run_point(
     data = get_dataset(dataset, scale=scale, seed=seed)
     inputs = cycle_inputs(data.test_images, requests)
 
-    def one_replay(window_s: float, batch_cap: int) -> Dict[str, object]:
+    def one_replay(
+        window_s: float, batch_cap: int, engines: int
+    ) -> Dict[str, object]:
         session = ServingSession(
             artifact,
             config=ServeConfig(
                 batch_window_s=window_s,
                 max_batch_size=batch_cap,
                 record_batches=True,
+                engines=engines,
             ),
         )
         try:
@@ -266,17 +314,21 @@ def run_point(
         finally:
             session.close()
 
-    batched = one_replay(batch_window_ms / 1e3, max_batch_size)
+    batched = one_replay(batch_window_ms / 1e3, max_batch_size, int(pool_size))
     payload: Dict[str, object] = {
         "model": model,
         "dataset": dataset,
         "scale": scale,
         "seed": int(seed),
         "bits": int(bits),
+        "pool_size": int(pool_size),
+        "artifact_nbytes": int(artifact.nbytes),
+        "payload_nbytes": int(artifact.payload_nbytes),
+        "sidecar_nbytes": int(artifact.sidecar_nbytes),
         "batched": batched,
     }
     if compare_sequential:
-        sequential = one_replay(0.0, 1)
+        sequential = one_replay(0.0, 1, 1)
         payload["sequential"] = sequential
         if batched["wall_s"] > 0:
             payload["speedup"] = float(sequential["wall_s"] / batched["wall_s"])
@@ -285,11 +337,21 @@ def run_point(
 
 def render(payload: Dict[str, object]) -> str:
     """Human rendering of a :func:`run_point` payload."""
+    pool_note = (
+        f", pool {payload['pool_size']}" if payload.get("pool_size", 1) != 1 else ""
+    )
     lines = [
         f"serve replay — {payload['model']} on {payload['dataset']} "
-        f"({payload['scale']}, uniform {payload['bits']} bits, seed {payload['seed']})",
+        f"({payload['scale']}, uniform {payload['bits']} bits, "
+        f"seed {payload['seed']}{pool_note})",
         render_replay(payload["batched"], title="micro-batched"),
     ]
+    if "artifact_nbytes" in payload:
+        lines.append(
+            f"artifact: {payload['artifact_nbytes']} bytes "
+            f"(payload {payload['payload_nbytes']}, "
+            f"sidecar {payload['sidecar_nbytes']})"
+        )
     if "sequential" in payload:
         lines.append(render_replay(payload["sequential"], title="sequential"))
     if "speedup" in payload:

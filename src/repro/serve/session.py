@@ -1,52 +1,71 @@
 """Synchronous serving facade suitable for embedding.
 
 :class:`ServingSession` wires an artifact (path, parsed
-:class:`~repro.serve.artifact.ServingArtifact`, or bare model) to an
-:class:`~repro.serve.engine.InferenceEngine` and exposes the blocking
-calls an application wants: ``predict`` / ``predict_batch`` /
+:class:`~repro.serve.artifact.ServingArtifact`, or bare model) to a
+:class:`~repro.serve.pool.ServingEnginePool` of one or more
+:class:`~repro.serve.engine.InferenceEngine` instances
+(``ServeConfig.engines``) and exposes the blocking calls an
+application wants: ``predict`` / ``predict_batch`` /
 ``predict_labels``, ``warmup``, graceful ``drain``/``close`` and a
-context-manager protocol. Paths are loaded through the process-wide
-content-hash artifact cache, so sessions opened one after another over
-the same bitstream reconstruct the model once.
+context-manager protocol.
 
-Caveat: cached artifacts hand every session the **same** model object,
-and each engine's worker thread assumes exclusive ownership of it — so
-do not run two sessions over one cached artifact *concurrently*; build
-a private model per extra concurrent session with
-:func:`~repro.serve.artifact.build_serving_model` (copy-on-lease in
-the cache is a ROADMAP open item).
+Path sources go through the content-hash artifact cache's
+**copy-on-lease** protocol: each engine gets a private clone of the
+cached prototype (:meth:`~repro.serve.artifact.ArtifactCache.lease`),
+so any number of sessions — and any number of engines within one
+session — serve the same cached artifact concurrently with zero
+shared mutable state. The parse + reconstruction still happens once
+per content hash; leases are released on ``close()``.
+
+Sessions constructed from an in-memory :class:`ServingArtifact` with
+``engines == 1`` serve the artifact's own prototype model directly
+(the historical embedded-use contract: one session, one owner). With
+``engines > 1`` every engine gets a private clone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.serve.artifact import DEFAULT_CACHE, ArtifactCache, ServingArtifact
+from repro.serve.artifact import (
+    DEFAULT_CACHE,
+    ArtifactCache,
+    ModelLease,
+    ServingArtifact,
+)
 from repro.serve.engine import InferenceEngine, PendingPrediction, ServeStats
+from repro.serve.pool import ServingEnginePool
 
 
 @dataclass
 class ServeConfig:
-    """Engine knobs of a session (see :class:`InferenceEngine`)."""
+    """Engine knobs of a session (see :class:`InferenceEngine`).
+
+    ``engines`` fans the session out across that many engines, each
+    serving a private model clone leased from the artifact —
+    multi-engine sessions require an artifact (or path) source.
+    """
 
     batch_window_s: float = 0.002
     max_batch_size: int = 16
     record_batches: bool = False
     autostart: bool = True
+    engines: int = 1
 
 
 class ServingSession:
-    """Blocking facade over one engine serving one artifact.
+    """Blocking facade over an engine pool serving one artifact.
 
-    ``source`` may be an artifact file path (loaded through ``cache``,
+    ``source`` may be an artifact file path (leased through ``cache``,
     default the process-wide :data:`~repro.serve.artifact.DEFAULT_CACHE`),
     an already-loaded :class:`ServingArtifact`, or a bare model for
-    ad-hoc serving (``warmup`` then needs an explicit example input).
+    ad-hoc serving (``warmup`` then needs an explicit example input,
+    and the session cannot fan out).
     """
 
     def __init__(
@@ -56,63 +75,132 @@ class ServingSession:
         cache: Optional[ArtifactCache] = None,
     ):
         config = config if config is not None else ServeConfig()
+        if config.engines < 1:
+            raise ValueError(f"engines must be >= 1, got {config.engines}")
         self.config = config
-        if isinstance(source, (str, Path)):
-            source = (cache if cache is not None else DEFAULT_CACHE).load(source)
-        if isinstance(source, ServingArtifact):
-            self.artifact: Optional[ServingArtifact] = source
-            model = source.model()
-        elif isinstance(source, Module):
-            self.artifact = None
-            model = source
-        else:
-            raise TypeError(
-                f"source must be a path, ServingArtifact or Module, got {type(source)}"
+        self._leases: List[ModelLease] = []
+        # Any failure between taking the first lease and standing the
+        # pool up must return the claims, or the cache entry would stay
+        # pinned (and the refcount inflated) for the process lifetime.
+        try:
+            if isinstance(source, (str, Path)):
+                cache = cache if cache is not None else DEFAULT_CACHE
+                # Read + hash the file once; further engines lease the
+                # already-parsed artifact (an adopt hit, no I/O).
+                self._leases.append(cache.lease(source))
+                self.artifact: Optional[ServingArtifact] = self._leases[0].artifact
+                for _ in range(config.engines - 1):
+                    self._leases.append(cache.lease(self.artifact))
+                models = [lease.model for lease in self._leases]
+            elif isinstance(source, ServingArtifact):
+                self.artifact = source
+                if cache is not None:
+                    for _ in range(config.engines):
+                        self._leases.append(cache.lease(source))
+                    models = [lease.model for lease in self._leases]
+                elif config.engines == 1:
+                    models = [source.model()]
+                else:
+                    models = [source.clone_model() for _ in range(config.engines)]
+            elif isinstance(source, Module):
+                if config.engines != 1:
+                    raise ValueError(
+                        "a bare-model session cannot fan out (one model, one "
+                        "owner); serve an artifact to use engines > 1"
+                    )
+                self.artifact = None
+                models = [source]
+            else:
+                raise TypeError(
+                    f"source must be a path, ServingArtifact or Module, "
+                    f"got {type(source)}"
+                )
+            self._models: Tuple[Module, ...] = tuple(models)
+            self._pool = ServingEnginePool(
+                models,
+                batch_window_s=config.batch_window_s,
+                max_batch_size=config.max_batch_size,
+                record_batches=config.record_batches,
+                autostart=config.autostart,
             )
-        self._model = model
-        self._engine = InferenceEngine(
-            model,
-            batch_window_s=config.batch_window_s,
-            max_batch_size=config.max_batch_size,
-            record_batches=config.record_batches,
-            autostart=config.autostart,
-        )
+        except BaseException:
+            for lease in self._leases:
+                lease.release()
+            raise
+        if self.artifact is not None:
+            for engine in self._pool.engines:
+                engine.annotate_artifact(
+                    self.artifact.nbytes,
+                    self.artifact.payload_nbytes,
+                    self.artifact.sidecar_nbytes,
+                )
 
     # ------------------------------------------------------------------
     @property
+    def pool(self) -> ServingEnginePool:
+        return self._pool
+
+    @property
+    def engines(self) -> Tuple[InferenceEngine, ...]:
+        """Every engine of the session, pool order."""
+        return self._pool.engines
+
+    @property
     def engine(self) -> InferenceEngine:
-        return self._engine
+        """The engine of a single-engine session (the common case)."""
+        if len(self._pool.engines) == 1:
+            return self._pool.engines[0]
+        raise RuntimeError(
+            f"session fans out across {len(self._pool.engines)} engines; "
+            "use .engines"
+        )
+
+    @property
+    def models(self) -> Tuple[Module, ...]:
+        """The served model of each engine (``models[i]`` is owned by
+        ``engines[i]``'s worker thread)."""
+        return self._models
 
     @property
     def model(self) -> Module:
-        """The served model (owned by the engine's worker thread)."""
-        return self._model
+        """The first engine's served model (owned by its worker thread)."""
+        return self._models[0]
+
+    @property
+    def input_dtype(self) -> np.dtype:
+        """The dtype inputs are coerced to before batching."""
+        return self._pool.input_dtype
 
     @property
     def stats(self) -> ServeStats:
-        return self._engine.stats
+        """Aggregated snapshot across the session's engines."""
+        return self._pool.stats
+
+    def per_engine_stats(self) -> List[ServeStats]:
+        """Unmerged per-engine snapshots, pool order."""
+        return self._pool.per_engine_stats()
 
     # ------------------------------------------------------------------
     def submit(self, x) -> PendingPrediction:
-        """Asynchronous enqueue (see :meth:`InferenceEngine.submit`)."""
-        return self._engine.submit(x)
+        """Asynchronous enqueue (see :meth:`ServingEnginePool.submit`)."""
+        return self._pool.submit(x)
 
     def predict(self, x, timeout: Optional[float] = None) -> np.ndarray:
         """Logits for one example (blocking)."""
-        return self._engine.predict(x, timeout=timeout)
+        return self._pool.predict(x, timeout=timeout)
 
     def predict_batch(self, xs, timeout: Optional[float] = None) -> np.ndarray:
         """Logits for a batch, one request per row so rows coalesce.
 
-        Row order is preserved regardless of how the engine batched the
-        requests.
+        Row order is preserved regardless of how the engines batched
+        (or which pool engine answered) the requests.
         """
-        xs = np.asarray(xs, dtype=np.float64)
+        xs = np.asarray(xs, dtype=self.input_dtype)
         if xs.ndim < 2:
             raise ValueError(
                 f"predict_batch expects a batch (ndim >= 2), got shape {xs.shape}"
             )
-        pendings = [self._engine.submit(row) for row in xs]
+        pendings = [self._pool.submit(row) for row in xs]
         return np.stack([pending.result(timeout) for pending in pendings])
 
     def predict_labels(self, xs, timeout: Optional[float] = None) -> np.ndarray:
@@ -120,7 +208,8 @@ class ServingSession:
         return self.predict_batch(xs, timeout=timeout).argmax(axis=1)
 
     def warmup(self, x=None, count: int = 1) -> None:
-        """Run ``count`` throwaway predictions to prime lazy state.
+        """Run ``count`` throwaway predictions *per engine* to prime
+        lazy state on every clone.
 
         Without an explicit example input, a zero image of the
         manifest's input shape is used (artifact-backed sessions only).
@@ -131,20 +220,26 @@ class ServingSession:
                     "warmup of a bare-model session needs an example input"
                 )
             x = np.zeros(self.artifact.manifest.input_shape)
-        for _ in range(max(1, count)):
-            self._engine.predict(x)
+        for engine in self._pool.engines:
+            for _ in range(max(1, count)):
+                engine.predict(x)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self._engine.start()
+        self._pool.start()
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every in-flight request has been answered."""
-        self._engine.drain(timeout=timeout)
+        self._pool.drain(timeout=timeout)
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Shut the engine down (gracefully by default). Idempotent."""
-        self._engine.close(drain=drain, timeout=timeout)
+        """Shut the engines down (gracefully by default) and release the
+        session's artifact leases. Idempotent."""
+        try:
+            self._pool.close(drain=drain, timeout=timeout)
+        finally:
+            for lease in self._leases:
+                lease.release()
 
     def __enter__(self) -> "ServingSession":
         return self

@@ -141,6 +141,37 @@ class TestServeCommand:
         # Second engine start hits the content-hash artifact cache.
         assert "artifact cache: 1 hits, 1 misses" in out
 
+    def test_serve_multi_engine_fans_out_with_parity(self, capsys, preset_artifact):
+        code = main(
+            [
+                "serve",
+                "--artifact", str(preset_artifact),
+                "--requests", "8",
+                "--concurrency", "4",
+                "--engines", "2",
+                "--max-batch", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 engine(s)" in out
+        assert "parity: OK (8 requests bit-exact)" in out
+        # One parse+build; the second engine's model is a leased clone.
+        assert "1 misses" in out and "2 leases" in out
+
+    def test_serve_rejects_bad_engine_count(self, capsys, preset_artifact):
+        code = main(["serve", "--artifact", str(preset_artifact), "--engines", "0"])
+        assert code == 2
+        assert "--engines" in capsys.readouterr().err
+
+    def test_serve_reports_artifact_byte_breakdown(self, capsys, preset_artifact):
+        code = main(
+            ["serve", "--artifact", str(preset_artifact), "--requests", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payload" in out and "sidecar" in out and "float32" in out
+
     def test_serve_missing_artifact_errors(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["serve", "--artifact", str(tmp_path / "nope.cqw")])

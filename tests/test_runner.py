@@ -103,10 +103,21 @@ class TestRegistry:
         assert grid == [(1, 0), (1, 1), (2, 0), (2, 1)]
         for spec in specs:
             assert spec.target == "repro.serve.replay:run_point"
+            assert spec.params["pool_size"] == 1
             resolve_target(spec.target)
             resolve_target(spec.render)
             spec.content_key()  # params must be JSON-able
         assert len({s.content_key() for s in specs}) == len(specs)
+
+    def test_serve_replay_pool_size_is_a_grid_knob(self):
+        specs = build_units("serve-replay", model="mlp", pool_size=3)
+        assert all(s.params["pool_size"] == 3 for s in specs)
+        assert all(s.name.endswith("-p3") for s in specs)
+        # Different pool sizes are different cached results.
+        baseline = build_units("serve-replay", model="mlp")
+        assert {s.content_key() for s in specs}.isdisjoint(
+            s.content_key() for s in baseline
+        )
 
     def test_budget_sweep_units_grid_order(self):
         specs = budget_sweep_units(

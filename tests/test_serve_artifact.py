@@ -1,4 +1,8 @@
-"""Tests for repro.serve.artifact: container, reconstruction, LRU cache."""
+"""Tests for repro.serve.artifact: container, sidecar dtypes,
+reconstruction, and the copy-on-lease LRU cache."""
+
+import struct
+import threading
 
 import numpy as np
 import pytest
@@ -111,9 +115,138 @@ class TestContainer:
         # Unquantized first/output layers ride along in full.
         assert any(key.endswith("fc0.weight") for key in artifact.state)
 
+    def test_byte_breakdown_accounts_for_everything(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        assert artifact.payload_nbytes > 0 and artifact.sidecar_nbytes > 0
+        assert artifact.payload_nbytes + artifact.sidecar_nbytes == artifact.nbytes
+        breakdown = artifact.size_breakdown()
+        assert str(artifact.payload_nbytes) in breakdown
+        assert artifact.sidecar_dtype in breakdown
+
+
+class TestSidecarDtype:
+    """The CQS2 tagged container and its legacy-CQS1 compatibility."""
+
+    def test_default_is_float32_and_tagged(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        assert b"CQS2" in data
+        assert load_artifact_bytes(data).sidecar_dtype == "float32"
+
+    def test_float64_writes_legacy_cqs1_layout(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest, sidecar_dtype="float64")
+        assert b"CQS1" in data and b"CQS2" not in data
+        artifact = load_artifact_bytes(data)
+        assert artifact.sidecar_dtype == "float64"
+        # Lossless: the state round-trips bit for bit.
+        from repro.serve.artifact import _serving_state
+
+        for name, value in _serving_state(model).items():
+            np.testing.assert_array_equal(artifact.state[name], value)
+
+    def test_hand_packed_legacy_sidecar_still_loads(self, quantized_mlp):
+        """A v1 sidecar framed by hand (the pre-CQS2 writer's layout)
+        must keep loading — deployed artifacts are immortal."""
+        import json
+
+        from repro.quant.packing import serialize_export
+        from repro.serve.artifact import _serving_state
+
+        model, manifest = quantized_mlp
+        state = _serving_state(model)
+        manifest_bytes = json.dumps(
+            manifest.to_dict(), sort_keys=True, allow_nan=False
+        ).encode("utf-8")
+        chunks = [
+            b"CQS1",
+            struct.pack("<I", len(manifest_bytes)),
+            manifest_bytes,
+            struct.pack("<I", len(state)),
+        ]
+        for name, array in state.items():
+            array = np.asarray(array, dtype=np.float64)
+            name_bytes = name.encode("utf-8")
+            chunks.append(struct.pack("<H", len(name_bytes)))
+            chunks.append(name_bytes)
+            chunks.append(struct.pack("<B", array.ndim))
+            chunks.append(struct.pack(f"<{array.ndim}I", *array.shape))
+            chunks.append(array.tobytes())
+        data = serialize_export(export_quantized_weights(model)) + b"".join(chunks)
+        artifact = load_artifact_bytes(data)
+        assert artifact.sidecar_dtype == "float64"
+        for name, value in state.items():
+            np.testing.assert_array_equal(artifact.state[name], value)
+
+    def test_float32_sidecar_is_measurably_smaller(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        wide = load_artifact_bytes(
+            serialize_artifact(model, manifest, sidecar_dtype="float64")
+        )
+        compact = load_artifact_bytes(
+            serialize_artifact(model, manifest, sidecar_dtype="float32")
+        )
+        # Same payload, roughly half the sidecar: for the tiny preset
+        # the sidecar dominates, so the whole artifact shrinks a lot.
+        assert compact.payload_nbytes == wide.payload_nbytes
+        assert compact.sidecar_nbytes < 0.6 * wide.sidecar_nbytes
+        assert compact.nbytes < 0.75 * wide.nbytes
+
+    def test_float16_is_smaller_still(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        f32 = serialize_artifact(model, manifest, sidecar_dtype="float32")
+        f16 = serialize_artifact(model, manifest, sidecar_dtype="float16")
+        assert len(f16) < len(f32)
+        assert load_artifact_bytes(f16).sidecar_dtype == "float16"
+
+    def test_float32_state_is_the_rounded_original(self, quantized_mlp):
+        """The narrowing happens exactly once, at pack time: the loaded
+        state equals the original cast through float32 — no double
+        rounding, no drift across loads."""
+        from repro.serve.artifact import _serving_state
+
+        model, manifest = quantized_mlp
+        artifact = load_artifact_bytes(
+            serialize_artifact(model, manifest, sidecar_dtype="float32")
+        )
+        for name, value in _serving_state(model).items():
+            expected = np.asarray(value).astype(np.float32).astype(np.float64)
+            np.testing.assert_array_equal(artifact.state[name], expected)
+
+    def test_float32_artifact_builds_and_serves(self, quantized_mlp, rng):
+        model, manifest = quantized_mlp
+        serving = compile_artifact(model, manifest, sidecar_dtype="float32").model()
+        batch = rng.standard_normal((4, 3, 8, 8))
+        with no_grad():
+            got = serving(Tensor(batch)).data
+            expected = model(Tensor(batch)).data
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-6)
+
+    def test_unknown_dtype_rejected(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        with pytest.raises(ValueError, match="sidecar dtype"):
+            serialize_artifact(model, manifest, sidecar_dtype="int8")
+
+    def test_unknown_tensor_tag_rejected(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = bytearray(serialize_artifact(model, manifest, sidecar_dtype="float32"))
+        # Corrupt the first tensor's dtype tag: it sits right after the
+        # first tensor name, which follows the CQS2 magic + manifest.
+        offset = data.index(b"CQS2") + 4
+        (manifest_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4 + manifest_len + 4  # manifest + tensor count
+        (name_len,) = struct.unpack_from("<H", data, offset)
+        tag_offset = offset + 2 + name_len
+        data[tag_offset] = 250
+        with pytest.raises(ValueError, match="dtype tag"):
+            load_artifact_bytes(bytes(data))
+
 
 class TestServingModel:
     def test_weights_are_bit_exact_with_effective_weight(self, quantized_mlp):
+        # Quantized weights travel as integer codes, so reconstruction
+        # is bitwise whatever the sidecar dtype (float32 default here).
         model, manifest = quantized_mlp
         serving = compile_artifact(model, manifest).model()
         reference = quantized_layers(model)
@@ -125,7 +258,9 @@ class TestServingModel:
 
     def test_forward_parity_weights_only(self, quantized_mlp, rng):
         model, manifest = quantized_mlp
-        serving = compile_artifact(model, manifest).model()
+        serving = compile_artifact(
+            model, manifest, sidecar_dtype="float64"
+        ).model()
         batch = rng.standard_normal((6, 3, 8, 8))
         with no_grad():
             expected = model(Tensor(batch)).data
@@ -136,7 +271,9 @@ class TestServingModel:
         self, quantized_mlp_factory, rng
     ):
         model, manifest = quantized_mlp_factory(act_bits=2)
-        serving = compile_artifact(model, manifest).model()
+        serving = compile_artifact(
+            model, manifest, sidecar_dtype="float64"
+        ).model()
         batch = rng.standard_normal((6, 3, 8, 8))
         with no_grad():
             expected = model(Tensor(batch)).data
@@ -147,6 +284,25 @@ class TestServingModel:
         model, manifest = quantized_mlp
         artifact = compile_artifact(model, manifest)
         assert artifact.model() is artifact.model()
+
+    def test_clone_model_is_private_and_bit_identical(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        prototype = artifact.model()
+        clone = artifact.clone_model()
+        assert clone is not prototype
+        proto_state = prototype.state_dict()
+        clone_state = clone.state_dict()
+        assert set(proto_state) == set(clone_state)
+        for name, value in proto_state.items():
+            np.testing.assert_array_equal(clone_state[name], value)
+        # Mutating the clone leaves the prototype untouched.
+        first_name = next(name for name, _ in clone.named_parameters())
+        dict(clone.named_parameters())[first_name].data[...] += 1.0
+        np.testing.assert_array_equal(
+            dict(prototype.named_parameters())[first_name].data,
+            proto_state[first_name],
+        )
 
     def test_artifact_from_search_bit_map(self, quantized_mlp_factory, rng):
         from repro.experiments.presets import build_preset_model
@@ -164,7 +320,8 @@ class TestServingModel:
         }
         float_model.load_state_dict(state, strict=False)
         artifact = artifact_from_search(
-            float_model, extract_bit_map(quantized), manifest
+            float_model, extract_bit_map(quantized), manifest,
+            sidecar_dtype="float64",
         )
         batch = rng.standard_normal((4, 3, 8, 8))
         with no_grad():
@@ -248,6 +405,52 @@ class TestArtifactCache:
         assert cache.load_bytes(bytes_a) is not first  # rebuilt after eviction
         assert cache.stats.misses == 3 and cache.stats.hits == 0
 
+    def test_race_losing_build_counts_as_race_not_hit(
+        self, quantized_mlp, monkeypatch
+    ):
+        """Two threads load the same uncached bytes: the loser's build
+        is thrown away — neither saved work (hit) nor a cache entry
+        (miss). The `loads` identity must still hold."""
+        import repro.serve.artifact as artifact_module
+
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        cache = ArtifactCache()
+        real_load = artifact_module.load_artifact_bytes
+        first_build_started = threading.Event()
+        winner_inserted = threading.Event()
+        calls = []
+
+        def stalling_load(payload):
+            calls.append(1)
+            if len(calls) == 1:  # the loser: build, then wait out the winner
+                first_build_started.set()
+                assert winner_inserted.wait(timeout=10)
+            return real_load(payload)
+
+        monkeypatch.setattr(artifact_module, "load_artifact_bytes", stalling_load)
+        results = {}
+
+        def loser():
+            results["loser"] = cache.load_bytes(data)
+
+        thread = threading.Thread(target=loser)
+        thread.start()
+        assert first_build_started.wait(timeout=10)
+        results["winner"] = cache.load_bytes(data)
+        winner_inserted.set()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+        assert results["loser"] is results["winner"]  # first build kept
+        stats = cache.stats
+        assert stats.misses == 1 and stats.races == 1 and stats.hits == 0
+        # The accounting identity: every load is a hit, a miss or a race.
+        assert stats.loads == stats.hits + stats.misses + stats.races == 2
+        # A later load is a plain hit.
+        assert cache.load_bytes(data) is results["winner"]
+        assert cache.stats.hits == 1 and cache.stats.loads == 3
+
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             ArtifactCache(capacity=0)
@@ -259,3 +462,83 @@ class TestArtifactCache:
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0
+
+
+class TestCopyOnLease:
+    """ArtifactCache.lease: private clones, refcounts, eviction safety."""
+
+    def test_leases_share_artifact_but_not_models(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache()
+        first = cache.lease(path)
+        second = cache.lease(path)
+        assert first.artifact is second.artifact
+        assert first.model is not second.model
+        assert first.model is not first.artifact.model()
+        for name, value in first.model.state_dict().items():
+            np.testing.assert_array_equal(second.model.state_dict()[name], value)
+        # One parse+build, one hit, two live claims.
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.leases == 2 and cache.active_leases() == 2
+        first.release()
+        second.release()
+        assert cache.active_leases() == 0
+        assert cache.stats.releases == 2
+
+    def test_release_is_idempotent_and_context_managed(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        cache = ArtifactCache()
+        data = serialize_artifact(model, manifest)
+        with cache.lease(data) as lease:
+            assert not lease.released
+            assert cache.active_leases() == 1
+        assert lease.released
+        lease.release()  # idempotent
+        assert cache.stats.releases == 1
+        assert cache.active_leases() == 0
+
+    def test_lease_adopts_parsed_artifacts(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        artifact = compile_artifact(model, manifest)
+        cache = ArtifactCache()
+        lease = cache.lease(artifact)
+        assert lease.artifact is artifact
+        assert cache.stats.misses == 1
+        again = cache.lease(artifact)
+        assert cache.stats.hits == 1
+        lease.release()
+        again.release()
+
+    def test_eviction_skips_leased_entries(self, quantized_mlp_factory):
+        cache = ArtifactCache(capacity=1)
+        model_a, manifest_a = quantized_mlp_factory(bits_seed=0)
+        model_b, manifest_b = quantized_mlp_factory(bits_seed=9)
+        lease_a = cache.lease(serialize_artifact(model_a, manifest_a))
+        cache.load_bytes(serialize_artifact(model_b, manifest_b))
+        # A is leased: B is the (LRU-violating but safe) eviction victim,
+        # and A's lease keeps working.
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        extra = cache.lease(serialize_artifact(model_a, manifest_a))
+        assert extra.artifact is lease_a.artifact  # A is still the cached entry
+        extra.release()
+        # Releasing A makes it evictable again.
+        lease_a.release()
+        cache.load_bytes(serialize_artifact(model_b, manifest_b))
+        assert cache.stats.evictions == 2
+
+    def test_bad_lease_source_rejected(self):
+        with pytest.raises(TypeError, match="lease source"):
+            ArtifactCache().lease(42)
+
+    def test_lease_stats_in_summary(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        cache = ArtifactCache()
+        lease = cache.lease(serialize_artifact(model, manifest))
+        summary = cache.stats.summary()
+        assert "1 leases (1 active)" in summary
+        assert "0 races" in summary
+        lease.release()
+        assert "1 leases (0 active)" in cache.stats.summary()

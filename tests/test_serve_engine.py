@@ -1,13 +1,20 @@
 """Tests for repro.serve.engine: micro-batching, stats, lifecycle."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.serve import EngineClosed, InferenceEngine, RequestCancelled
+from repro.serve import (
+    EngineClosed,
+    InferenceEngine,
+    RequestCancelled,
+    ShutdownTimeout,
+    combine_serve_stats,
+)
 from repro.tensor.tensor import Tensor
 
 
@@ -28,6 +35,18 @@ def expected_output(model: Module, x: np.ndarray) -> np.ndarray:
 class FailingModel(Module):
     def forward(self, x):
         raise RuntimeError("kaboom")
+
+
+class SlowModel(Module):
+    """A forward slow enough to outlive a short close() timeout."""
+
+    def __init__(self, delay_s: float = 0.4):
+        super().__init__()
+        self.delay_s = delay_s
+
+    def forward(self, x):
+        time.sleep(self.delay_s)
+        return x
 
 
 class TestBasicServing:
@@ -254,6 +273,110 @@ class TestErrorsAndLifecycle:
         with pytest.raises(TimeoutError):
             pending.result(timeout=0.01)
         engine.close(drain=False)
+
+    def test_close_timeout_raises_while_worker_still_runs(self):
+        """close(timeout) must not report success while the worker is
+        alive — callers would tear down state under a running thread."""
+        engine = InferenceEngine(SlowModel(delay_s=0.4), batch_window_s=0.0)
+        pending = engine.submit(np.ones(3))
+        with pytest.raises(ShutdownTimeout, match="still running"):
+            engine.close(drain=True, timeout=0.02)
+        # The engine was NOT closed: the request still completes, and a
+        # patient close() succeeds.
+        np.testing.assert_array_equal(pending.result(timeout=10), np.ones(3))
+        engine.close(drain=True, timeout=10)
+        assert engine.stats.completed == 1
+
+    def test_close_with_generous_timeout_succeeds(self):
+        engine = InferenceEngine(make_toy_model())
+        engine.predict(np.ones(3))
+        engine.close(timeout=10)  # no raise
+
+
+class TestInputDtype:
+    def test_dtype_follows_model_parameters(self):
+        model = make_toy_model()
+        with InferenceEngine(model) as engine:
+            assert engine.input_dtype == np.float64
+            assert engine.predict(np.ones(3, dtype=np.float32)).dtype == np.float64
+
+    def test_float32_model_serves_float32_without_upcast(self):
+        model = make_toy_model()
+        model.weight.data = model.weight.data.astype(np.float32)
+        model.bias.data = model.bias.data.astype(np.float32)
+        with InferenceEngine(model, batch_window_s=0.0) as engine:
+            assert engine.input_dtype == np.float32
+            x = np.arange(3, dtype=np.float64)
+            got = engine.predict(x, timeout=10)
+            # The engine computed in the model's dtype (no silent
+            # float64 upcast) and matches the direct float32 forward.
+            assert got.dtype == np.float32
+            expected = x.astype(np.float32) @ model.weight.data.T + model.bias.data
+            np.testing.assert_array_equal(got, expected)
+
+    def test_parameter_free_model_defaults_to_float64(self):
+        with InferenceEngine(FailingModel(), autostart=False) as engine:
+            assert engine.input_dtype == np.float64
+
+
+class TestCombinedStats:
+    def test_combine_sums_counters_and_maxes_high_water_marks(self):
+        model = make_toy_model()
+        engines = [
+            InferenceEngine(
+                model if index == 0 else make_toy_model(),
+                batch_window_s=0.0,
+                max_batch_size=2,
+                autostart=False,
+            )
+            for index in range(2)
+        ]
+        for index, engine in enumerate(engines):
+            for _ in range(2 + index):
+                engine.submit(np.ones(3))
+            engine.start()
+            engine.drain(timeout=10)
+        snapshots = [engine.stats for engine in engines]
+        merged = combine_serve_stats(snapshots)
+        assert merged.requests == sum(s.requests for s in snapshots) == 5
+        assert merged.completed == 5
+        assert merged.forwards == sum(s.forwards for s in snapshots)
+        assert merged.max_batch_seen == max(s.max_batch_seen for s in snapshots)
+        assert merged.max_queue_depth == max(s.max_queue_depth for s in snapshots)
+        assert merged.total_latency_s == pytest.approx(
+            sum(s.total_latency_s for s in snapshots)
+        )
+        assert len(merged.latencies_s) == 5
+        for engine in engines:
+            engine.close()
+
+    def test_latency_window_keeps_samples_from_every_engine(self):
+        """Merging full windows must not let the last engine displace
+        the others — each engine keeps an even share of the merged
+        percentile window."""
+        from repro.serve.engine import LATENCY_WINDOW, ServeStats
+
+        slow = ServeStats()
+        slow.latencies_s.extend([1.0] * LATENCY_WINDOW)
+        fast = ServeStats()
+        fast.latencies_s.extend([0.001] * LATENCY_WINDOW)
+        merged = combine_serve_stats([slow, fast])
+        samples = list(merged.latencies_s)
+        assert samples.count(1.0) == LATENCY_WINDOW // 2
+        assert samples.count(0.001) == LATENCY_WINDOW // 2
+        # The slow engine is visible in the merged percentiles.
+        assert merged.latency_percentile(75) == 1.0
+
+    def test_artifact_annotation_rides_along(self):
+        with InferenceEngine(make_toy_model()) as engine:
+            engine.annotate_artifact(100, 60, 40)
+            stats = engine.stats
+        assert (stats.artifact_nbytes, stats.payload_nbytes, stats.sidecar_nbytes) == (
+            100, 60, 40,
+        )
+        assert "artifact: 100 bytes (payload 60, sidecar 40)" in stats.summary()
+        merged = combine_serve_stats([stats, stats])
+        assert merged.artifact_nbytes == 100  # max, not sum
 
 
 class TestParityReplay:

@@ -1,0 +1,98 @@
+"""Tests for repro.serve.pool: round-robin fan-out, lifecycle, stats."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.serve import ServingEnginePool, ShutdownTimeout
+
+
+def make_toy_model(scale: float = 1.0) -> Module:
+    model = Linear(3, 2, rng=np.random.default_rng(0))
+    model.weight.data[...] = scale * np.arange(6, dtype=np.float64).reshape(2, 3)
+    model.bias.data[...] = 0.0
+    return model
+
+
+class SlowModel(Module):
+    def __init__(self, delay_s: float = 0.4):
+        super().__init__()
+        self.delay_s = delay_s
+
+    def forward(self, x):
+        time.sleep(self.delay_s)
+        return x
+
+
+class TestPoolBasics:
+    def test_needs_models(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            ServingEnginePool([])
+
+    def test_rejects_shared_model_objects(self):
+        model = make_toy_model()
+        with pytest.raises(ValueError, match="distinct"):
+            ServingEnginePool([model, model])
+
+    def test_round_robin_assignment(self):
+        models = [make_toy_model() for _ in range(3)]
+        with ServingEnginePool(models, batch_window_s=0.0) as pool:
+            assert len(pool) == 3
+            pendings = [pool.submit(np.ones(3)) for _ in range(7)]
+            for pending in pendings:
+                pending.result(timeout=10)
+            assert [p.engine_index for p in pendings] == [0, 1, 2, 0, 1, 2, 0]
+            per_engine = pool.per_engine_stats()
+            assert [stats.requests for stats in per_engine] == [3, 2, 2]
+
+    def test_identical_models_answer_identically(self):
+        models = [make_toy_model() for _ in range(2)]
+        x = np.arange(3, dtype=np.float64)
+        with ServingEnginePool(models, batch_window_s=0.0) as pool:
+            first = pool.predict(x, timeout=10)
+            second = pool.predict(x, timeout=10)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, x @ models[0].weight.data.T)
+
+    def test_combined_stats_sum_over_engines(self):
+        models = [make_toy_model() for _ in range(2)]
+        with ServingEnginePool(models, batch_window_s=0.0) as pool:
+            for _ in range(6):
+                pool.predict(np.ones(3), timeout=10)
+            stats = pool.stats
+        assert stats.requests == 6 and stats.completed == 6
+        assert stats.forwards == sum(s.forwards for s in pool.per_engine_stats())
+
+    def test_input_dtype_exposed(self):
+        with ServingEnginePool([make_toy_model()]) as pool:
+            assert pool.input_dtype == np.float64
+
+
+class TestPoolLifecycle:
+    def test_deferred_start_and_drain(self):
+        models = [make_toy_model() for _ in range(2)]
+        pool = ServingEnginePool(models, batch_window_s=0.0, autostart=False)
+        pendings = [pool.submit(np.full(3, i)) for i in range(4)]
+        pool.start()
+        pool.drain(timeout=10)
+        assert all(pending.done() for pending in pendings)
+        pool.close()
+
+    def test_close_timeout_names_laggards(self):
+        pool = ServingEnginePool(
+            [SlowModel(0.4), SlowModel(0.4)], batch_window_s=0.0
+        )
+        pendings = [pool.submit(np.ones(3)) for _ in range(2)]
+        with pytest.raises(ShutdownTimeout, match="engines"):
+            pool.close(drain=True, timeout=0.02)
+        for pending in pendings:
+            pending.result(timeout=10)
+        pool.close(drain=True, timeout=10)  # patient close succeeds
+
+    def test_close_is_idempotent(self):
+        pool = ServingEnginePool([make_toy_model()])
+        pool.close()
+        pool.close()

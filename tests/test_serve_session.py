@@ -26,15 +26,25 @@ class TestConstruction:
             assert session.artifact is artifact
             assert session.model is artifact.model()
 
-    def test_from_path_uses_cache(self, quantized_mlp_factory, tmp_path):
+    def test_from_path_leases_private_clones(self, quantized_mlp_factory, tmp_path):
+        """Path-sourced sessions share the cached artifact (one parse,
+        one build) but each engine serves a private clone — two
+        sessions over one cached artifact can run concurrently."""
         model, manifest = quantized_mlp_factory()
         path = tmp_path / "model.cqw"
         save_artifact(path, model, manifest)
         cache = ArtifactCache()
         with ServingSession(path, cache=cache) as first:
             with ServingSession(str(path), cache=cache) as second:
-                assert second.model is first.model
+                assert second.artifact is first.artifact
+                assert second.model is not first.model
+                for name, value in first.model.state_dict().items():
+                    np.testing.assert_array_equal(
+                        second.model.state_dict()[name], value
+                    )
+                assert cache.active_leases() == 2
         assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.active_leases() == 0  # released on close
 
     def test_from_bare_model(self, quantized_mlp_factory):
         model, _manifest = quantized_mlp_factory()
@@ -43,9 +53,101 @@ class TestConstruction:
             with pytest.raises(ValueError, match="example input"):
                 session.warmup()
 
+    def test_failed_construction_releases_leases(
+        self, quantized_mlp_factory, tmp_path
+    ):
+        """A session that leases clones but fails before standing up its
+        pool must return the claims — otherwise the cache entry stays
+        pinned for the process lifetime."""
+        model, manifest = quantized_mlp_factory()
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache()
+        with pytest.raises(ValueError, match="batch_window_s"):
+            ServingSession(
+                path,
+                config=ServeConfig(engines=2, batch_window_s=-1.0),
+                cache=cache,
+            )
+        assert cache.stats.leases == 2
+        assert cache.active_leases() == 0
+
+    def test_multi_engine_path_source_reads_file_once(
+        self, quantized_mlp_factory, tmp_path, monkeypatch
+    ):
+        model, manifest = quantized_mlp_factory()
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        from pathlib import Path as _Path
+
+        reads = []
+        real_read_bytes = _Path.read_bytes
+
+        def counting_read_bytes(self):
+            reads.append(str(self))
+            return real_read_bytes(self)
+
+        monkeypatch.setattr(_Path, "read_bytes", counting_read_bytes)
+        cache = ArtifactCache()
+        with ServingSession(
+            path, config=ServeConfig(engines=3), cache=cache
+        ) as session:
+            assert len(session.engines) == 3
+        assert reads.count(str(path)) == 1  # further engines adopt, no I/O
+
+    def test_bare_model_cannot_fan_out(self, quantized_mlp_factory):
+        model, _manifest = quantized_mlp_factory()
+        with pytest.raises(ValueError, match="fan out"):
+            ServingSession(model, config=ServeConfig(engines=2))
+
+    def test_engines_validated(self, artifact):
+        with pytest.raises(ValueError, match="engines"):
+            ServingSession(artifact, config=ServeConfig(engines=0))
+
     def test_bad_source_rejected(self):
         with pytest.raises(TypeError, match="source"):
             ServingSession(42)
+
+
+class TestMultiEngineSession:
+    def test_artifact_source_clones_per_engine(self, artifact):
+        with ServingSession(artifact, config=ServeConfig(engines=2)) as session:
+            assert len(session.engines) == 2
+            assert len(session.models) == 2
+            assert session.models[0] is not session.models[1]
+            # The prototype stays pristine (it is the clone source).
+            assert artifact.model() not in session.models
+            with pytest.raises(RuntimeError, match="use .engines"):
+                session.engine
+
+    def test_requests_fan_out_round_robin(self, artifact, rng):
+        xs = rng.standard_normal((8, 3, 8, 8))
+        config = ServeConfig(batch_window_s=0.0, engines=2)
+        with ServingSession(artifact, config=config) as session:
+            pendings = [session.submit(x) for x in xs]
+            for pending in pendings:
+                pending.result(timeout=10)
+            assert [p.engine_index for p in pendings] == [0, 1] * 4
+            per_engine = session.per_engine_stats()
+            assert [stats.requests for stats in per_engine] == [4, 4]
+            combined = session.stats
+            assert combined.requests == 8
+            assert combined.completed == 8
+
+    def test_predict_batch_row_order_preserved_across_engines(self, artifact, rng):
+        xs = rng.standard_normal((9, 3, 8, 8))
+        config = ServeConfig(batch_window_s=0.01, max_batch_size=4, engines=2)
+        with ServingSession(artifact, config=config) as session:
+            got = session.predict_batch(xs)
+        sequential_config = ServeConfig(batch_window_s=0.0, max_batch_size=1)
+        with ServingSession(artifact, config=sequential_config) as session:
+            sequential = session.predict_batch(xs)
+        np.testing.assert_allclose(got, sequential, rtol=1e-9, atol=1e-12)
+
+    def test_warmup_primes_every_engine(self, artifact):
+        with ServingSession(artifact, config=ServeConfig(engines=2)) as session:
+            session.warmup(count=2)
+            assert [stats.completed for stats in session.per_engine_stats()] == [2, 2]
 
 
 class TestPredict:
