@@ -161,6 +161,59 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the bit-exact replay parity check",
     )
+    serve.add_argument(
+        "--trace",
+        choices=("uniform", "poisson", "bursty", "diurnal"),
+        default=None,
+        help="open-loop arrival-process replay at --rate (default: the "
+        "closed-loop client replay at --concurrency)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="mean arrival rate of --trace, requests/s",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=0, help="trace arrival-process seed"
+    )
+    serve.add_argument(
+        "--burst-factor",
+        type=float,
+        default=8.0,
+        help="bursty trace: on-phase intensity multiplier (>= 1)",
+    )
+    serve.add_argument(
+        "--duty",
+        type=float,
+        default=0.2,
+        help="bursty trace: fraction of each period spent bursting (0..1)",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="latency SLO; the trace report includes attainment and a "
+        "p95-vs-SLO verdict",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="scale engines from queue depth between --engines (min) and "
+        "--max-engines instead of a fixed fan-out (trace mode only)",
+    )
+    serve.add_argument(
+        "--max-engines",
+        type=int,
+        default=4,
+        help="autoscaler upper bound on leased engines",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="kill one engine's worker mid-trace to exercise lease release, "
+        "re-lease and request re-dispatch (needs --autoscale)",
+    )
 
     predict = sub.add_parser(
         "predict", help="one-shot inference on a saved batch from an artifact"
@@ -366,27 +419,60 @@ def _run_serve(args) -> int:
     from repro.experiments.presets import get_dataset
     from repro.serve import (
         ArtifactCache,
+        AutoscalePolicy,
         ServeConfig,
         ServingSession,
+        TraceConfig,
         cycle_inputs,
+        generate_trace,
         render_replay,
+        render_trace_replay,
         replay_requests,
+        replay_trace,
         verify_replay,
     )
 
     if args.engines < 1:
         print(f"serve: --engines must be >= 1, got {args.engines}", file=sys.stderr)
         return 2
+    if (args.autoscale or args.chaos) and args.trace is None:
+        print("serve: --autoscale/--chaos need --trace", file=sys.stderr)
+        return 2
+    if args.chaos and not args.autoscale:
+        print(
+            "serve: --chaos needs --autoscale (the supervisor recovers the "
+            "killed engine)",
+            file=sys.stderr,
+        )
+        return 2
     cache = ArtifactCache()
+    trace = None
+    if args.trace is not None:
+        trace = generate_trace(
+            TraceConfig(
+                kind=args.trace,
+                requests=args.requests,
+                rate_rps=args.rate,
+                seed=args.trace_seed,
+                burst_factor=args.burst_factor,
+                duty=args.duty,
+            )
+        )
     inputs = None
     for round_index in range(max(1, args.repeat)):
+        policy = None
+        if args.autoscale:
+            policy = AutoscalePolicy(
+                min_engines=args.engines, max_engines=args.max_engines
+            )
         session = ServingSession(
             args.artifact,
             config=ServeConfig(
                 batch_window_s=args.batch_window_ms / 1e3,
                 max_batch_size=args.max_batch,
                 record_batches=not args.no_verify,
-                engines=args.engines,
+                engines=1 if policy is not None else args.engines,
+                autoscale=policy,
             ),
             cache=cache,
         )
@@ -394,23 +480,48 @@ def _run_serve(args) -> int:
         manifest = artifact.manifest
         if inputs is None:
             dataset = get_dataset(manifest.dataset, scale=manifest.scale, seed=manifest.seed)
-            inputs = cycle_inputs(dataset.test_images, args.requests)
+            count = args.requests if trace is None else trace.rows
+            inputs = cycle_inputs(dataset.test_images, count)
+            load_note = (
+                f"replaying {len(inputs)} requests from {args.concurrency} "
+                f"clients across {args.engines} engine(s)"
+                if trace is None
+                else trace.describe()
+                + (
+                    f"; autoscale {args.engines}..{args.max_engines}"
+                    if args.autoscale
+                    else f"; {args.engines} engine(s)"
+                )
+            )
             print(
                 f"serving {manifest.model} ({manifest.dataset}/{manifest.scale}, "
                 f"{artifact.size_breakdown()}, key {artifact.content_key}); "
-                f"replaying {len(inputs)} requests from {args.concurrency} "
-                f"clients across {args.engines} engine(s)"
+                f"{load_note}"
             )
         try:
-            run = replay_requests(session, inputs, concurrency=args.concurrency)
-            print(render_replay(run.payload, title=f"round {round_index + 1}"))
-            if not args.no_verify:
-                verified = verify_replay(session, inputs, run)
-                if verified != len(inputs):
-                    raise AssertionError(
-                        f"only {verified}/{len(inputs)} requests were "
-                        f"verifiable (batches with non-replay traffic)"
+            if trace is None:
+                run = replay_requests(session, inputs, concurrency=args.concurrency)
+                print(render_replay(run.payload, title=f"round {round_index + 1}"))
+            else:
+                kill_at = (
+                    0.35 * max(trace.duration_s, 1e-3) if args.chaos else None
+                )
+                run = replay_trace(
+                    session,
+                    inputs,
+                    trace,
+                    slo_ms=args.slo_ms,
+                    chaos_kill_at_s=kill_at,
+                )
+                print(
+                    render_trace_replay(
+                        run.payload, title=f"round {round_index + 1}"
                     )
+                )
+            if not args.no_verify:
+                verified = verify_replay(
+                    session, inputs, run, expected=len(inputs)
+                )
                 print(f"parity: OK ({verified} requests bit-exact)")
         except AssertionError as error:
             print(f"parity: FAILED — {error}", file=sys.stderr)

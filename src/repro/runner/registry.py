@@ -180,30 +180,44 @@ def serve_replay_units(
     seeds: Sequence[int] = (0,),
     bits: Sequence[int] = (2,),
     requests: int = 64,
-    concurrency: int = 4,
+    trace: str = "uniform",
+    rate_rps: float = 200.0,
+    slo_ms: float = 50.0,
     batch_window_ms: float = 2.0,
     max_batch_size: int = 16,
     pool_size: int = 1,
+    autoscale: bool = False,
+    max_engines: int = 4,
+    chaos: bool = False,
 ) -> List[UnitSpec]:
     """One serving-benchmark unit per ``(bits, seed)`` grid point.
 
     Targets :func:`repro.serve.replay.run_point`: serve a
     uniform-``bits`` CQW1 artifact of the pretrained preset under a
-    concurrent request replay (micro-batched vs sequential) and archive
-    the throughput/latency report, so sweeps can include serving
-    benchmarks next to accuracy grids. ``pool_size`` fans the batched
-    replay across that many engines leased from one cached artifact
-    (the sequential baseline stays single-engine).
+    seeded open-loop traffic ``trace`` at ``rate_rps`` (micro-batched
+    vs sequential) and archive the latency-percentile / SLO report, so
+    sweeps can include serving benchmarks next to accuracy grids.
+    ``pool_size`` fans the batched replay across that many engines
+    leased from one cached artifact (the sequential baseline stays
+    single-engine); ``autoscale`` instead scales between ``pool_size``
+    and ``max_engines`` from queue depth, and ``chaos`` kills one
+    engine mid-trace to archive the recovery path. The trace is seeded
+    from each unit's ``seed``, so a unit always offers the identical
+    load and stays honest under the content-key result cache.
     """
     units = []
     for bit in bits:
         for seed in seeds:
+            suffix = f"-b{int(bit)}-s{int(seed)}-p{int(pool_size)}"
+            if trace != "uniform":
+                suffix += f"-{trace}"
+            if autoscale:
+                suffix += f"-auto{int(max_engines)}"
+            if chaos:
+                suffix += "-chaos"
             units.append(
                 UnitSpec(
-                    name=(
-                        f"serve-replay-{model}-{dataset}-{scale}"
-                        f"-b{int(bit)}-s{int(seed)}-p{int(pool_size)}"
-                    ),
+                    name=f"serve-replay-{model}-{dataset}-{scale}{suffix}",
                     target="repro.serve.replay:run_point",
                     params={
                         "model": model,
@@ -212,10 +226,15 @@ def serve_replay_units(
                         "seed": int(seed),
                         "bits": int(bit),
                         "requests": int(requests),
-                        "concurrency": int(concurrency),
+                        "trace": str(trace),
+                        "rate_rps": float(rate_rps),
+                        "slo_ms": float(slo_ms),
                         "batch_window_ms": float(batch_window_ms),
                         "max_batch_size": int(max_batch_size),
                         "pool_size": int(pool_size),
+                        "autoscale": bool(autoscale),
+                        "max_engines": int(max_engines),
+                        "chaos": bool(chaos),
                     },
                     render="repro.serve.replay:render",
                 )

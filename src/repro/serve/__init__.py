@@ -11,9 +11,13 @@ clone of the cached prototype, and
 :class:`~repro.serve.pool.ServingEnginePool` fans requests across any
 number of leased engines serving one artifact.
 :class:`~repro.serve.session.ServingSession` is the synchronous facade
-(``ServeConfig.engines`` picks the fan-out); :mod:`~repro.serve.replay`
-generates request-replay load and the sweepable ``serve-replay``
-benchmark unit.
+(``ServeConfig.engines`` picks the fan-out, or
+``ServeConfig.autoscale`` hands the fan-out to an
+:class:`~repro.serve.pool.AutoscalingEnginePool` driven by queue
+depth); :mod:`~repro.serve.replay` generates request-replay load —
+closed-loop clients or seeded open-loop
+:class:`~repro.serve.trace.TrafficTrace` arrivals — and the sweepable
+``serve-replay`` benchmark unit.
 
 Design doc: ``docs/architecture.md`` (Serving section).
 """
@@ -38,6 +42,7 @@ from repro.serve.artifact import (
 )
 from repro.serve.engine import (
     EngineClosed,
+    EngineDied,
     InferenceEngine,
     PendingPrediction,
     RequestCancelled,
@@ -45,45 +50,70 @@ from repro.serve.engine import (
     ShutdownTimeout,
     combine_serve_stats,
 )
-from repro.serve.pool import ServingEnginePool
+from repro.serve.pool import (
+    AutoscaleDecider,
+    AutoscalePolicy,
+    AutoscalingEnginePool,
+    ScaleEvent,
+    ServingEnginePool,
+)
 from repro.serve.replay import (
     ReplayRun,
     cycle_inputs,
     render_replay,
+    render_trace_replay,
     replay_requests,
+    replay_trace,
     verify_replay,
 )
 from repro.serve.session import ServeConfig, ServingSession
+from repro.serve.trace import (
+    TRACE_KINDS,
+    TraceConfig,
+    TrafficTrace,
+    generate_trace,
+)
 
 __all__ = [
     "ArtifactCache",
     "ArtifactCacheStats",
     "ArtifactManifest",
+    "AutoscaleDecider",
+    "AutoscalePolicy",
+    "AutoscalingEnginePool",
     "DEFAULT_CACHE",
     "DEFAULT_SIDECAR_DTYPE",
     "EngineClosed",
+    "EngineDied",
     "InferenceEngine",
     "ModelLease",
     "PendingPrediction",
     "ReplayRun",
     "RequestCancelled",
     "SIDECAR_DTYPES",
+    "ScaleEvent",
     "ServeConfig",
     "ServeStats",
     "ServingArtifact",
     "ServingEnginePool",
     "ServingSession",
     "ShutdownTimeout",
+    "TRACE_KINDS",
+    "TraceConfig",
+    "TrafficTrace",
     "artifact_from_result",
     "artifact_from_search",
     "build_serving_model",
     "combine_serve_stats",
     "compile_artifact",
     "cycle_inputs",
+    "generate_trace",
     "load_artifact",
     "load_artifact_bytes",
     "render_replay",
+    "render_trace_replay",
     "replay_requests",
+    "replay_trace",
     "save_artifact",
     "serialize_artifact",
     "verify_replay",

@@ -56,6 +56,25 @@ class ShutdownTimeout(RuntimeError):
     call ``close()`` again (or with a longer timeout) to keep waiting."""
 
 
+class EngineDied(RuntimeError):
+    """The engine's worker thread died (crashed or chaos-killed).
+
+    Raised from ``drain()`` on a dead engine, and delivered to any
+    request that could not be rescued after a death — a dead engine
+    never *silently* drops work: every orphaned request is either
+    re-dispatched to a live engine or answered with this error."""
+
+
+class _InjectedCrash(BaseException):
+    """Chaos-kill signal (:meth:`InferenceEngine.kill`).
+
+    Deliberately a ``BaseException`` so it sails through the worker's
+    ``except Exception`` batch-failure handling exactly like a real
+    worker death (segfault-equivalent) would — the batch is *not*
+    answered, the thread dies, and recovery is entirely the
+    supervisor's problem."""
+
+
 def _model_input_dtype(model: Module) -> np.dtype:
     """The dtype the served model computes in (its parameters' dtype).
 
@@ -109,6 +128,18 @@ class ServeStats:
     """Latency samples of the most recent completed requests (bounded
     to :data:`LATENCY_WINDOW`, completion order)."""
 
+    scale_ups: int = 0
+    """Autoscaler scale-up events (pool-level; 0 on single engines)."""
+
+    scale_downs: int = 0
+    """Autoscaler scale-down events (pool-level)."""
+
+    engine_deaths: int = 0
+    """Worker deaths detected and recovered by the pool supervisor."""
+
+    redispatched: int = 0
+    """Orphaned requests re-dispatched from dead engines to live ones."""
+
     artifact_nbytes: int = 0
     """Total bytes of the served artifact (0 for bare-model engines)."""
 
@@ -158,6 +189,11 @@ class ServeStats:
             f"max {self.max_latency_s * 1e3:.2f} ms",
             f"forward wall: {self.total_forward_s:.3f} s",
         ]
+        if self.scale_ups or self.scale_downs or self.engine_deaths:
+            lines.append(
+                f"autoscale: {self.scale_ups} up, {self.scale_downs} down, "
+                f"{self.engine_deaths} deaths, {self.redispatched} redispatched"
+            )
         if self.artifact_nbytes:
             lines.append(
                 f"artifact: {self.artifact_nbytes} bytes "
@@ -187,6 +223,10 @@ def combine_serve_stats(snapshots) -> "ServeStats":
         merged.errors += stats.errors
         merged.cancelled += stats.cancelled
         merged.forwards += stats.forwards
+        merged.scale_ups += stats.scale_ups
+        merged.scale_downs += stats.scale_downs
+        merged.engine_deaths += stats.engine_deaths
+        merged.redispatched += stats.redispatched
         merged.coalesced_forwards += stats.coalesced_forwards
         merged.batched_requests += stats.batched_requests
         merged.max_batch_seen = max(merged.max_batch_seen, stats.max_batch_seen)
@@ -208,6 +248,7 @@ class PendingPrediction:
         "request_id",
         "engine_index",
         "latency_s",
+        "service_s",
         "_event",
         "_value",
         "_error",
@@ -218,9 +259,14 @@ class PendingPrediction:
         self.engine_index = 0
         """Which pool engine serves this request (0 outside a pool);
         request ids are only unique per engine, so (engine_index,
-        request_id) is the global identity."""
+        request_id) is the global identity. Both fields are rewritten
+        if a pool re-dispatches the request after an engine death —
+        read them after ``result()`` returns."""
 
         self.latency_s: Optional[float] = None
+        self.service_s: Optional[float] = None
+        """Forward wall-clock of the batch that served this request;
+        ``latency_s - service_s`` is the time spent queued."""
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
@@ -238,10 +284,11 @@ class PendingPrediction:
             raise self._error
         return self._value
 
-    def _finish(self, value=None, error=None, latency_s=None) -> None:
+    def _finish(self, value=None, error=None, latency_s=None, service_s=None) -> None:
         self._value = value
         self._error = error
         self.latency_s = latency_s
+        self.service_s = service_s
         self._event.set()
 
 
@@ -302,8 +349,11 @@ class InferenceEngine:
         self._batches: List[Tuple[int, ...]] = []
         self._next_id = 0
         self._in_flight = 0
+        self._current_batch: List[_QueuedRequest] = []
         self._closing = False
         self._drain_on_close = True
+        self._kill = False
+        self._crashed = False
         self._thread: Optional[threading.Thread] = None
         if autostart:
             self.start()
@@ -327,6 +377,84 @@ class InferenceEngine:
     def started(self) -> bool:
         return self._thread is not None
 
+    # ------------------------------------------------------------------
+    # Chaos / death handling
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Chaos hook: make the worker thread die abruptly.
+
+        The worker raises an internal ``BaseException`` at its next
+        scheduling point — mid-batch-collection if one is open — so
+        queued and in-flight requests are stranded exactly as a real
+        worker death would strand them. Recovery (orphan re-dispatch,
+        lease release, replacement) is the pool supervisor's job; a
+        bare engine's orphans are settled loudly by :meth:`close`.
+        """
+        with self._cond:
+            if self._thread is None:
+                raise EngineClosed("kill() needs a started engine")
+            self._kill = True
+            self._cond.notify_all()
+
+    @property
+    def worker_died(self) -> bool:
+        """True once the worker thread has died without closing."""
+        return self._crashed
+
+    @property
+    def queue_depth(self) -> int:
+        """Queued plus in-flight requests right now (autoscaler signal)."""
+        with self._cond:
+            return len(self._queue) + self._in_flight
+
+    def take_orphans(self) -> List[_QueuedRequest]:
+        """Strip every unanswered request off a dead engine.
+
+        Returns the stranded requests — the interrupted batch's
+        unanswered members first, then the queue, submission order —
+        and marks the engine closing so no new work lands here. The
+        orphans keep their original ``enqueued_at``, so client-side
+        latency spans the death and re-dispatch. The dead engine's
+        ``requests`` counter is decremented by the orphan count: it
+        never answered them, and the engine that adopts them counts
+        them afresh.
+        """
+        with self._cond:
+            self._closing = True
+            orphans = [
+                request
+                for request in self._current_batch
+                if not request.pending.done()
+            ]
+            orphans.extend(self._queue)
+            self._current_batch = []
+            self._queue.clear()
+            self._in_flight = 0
+            self._stats.requests -= len(orphans)
+            self._cond.notify_all()
+        return orphans
+
+    def adopt(self, request: _QueuedRequest) -> None:
+        """Enqueue an orphaned request taken from a dead engine.
+
+        The request gets a fresh engine-local id (ids are engine-local;
+        the dead engine's id space means nothing here) and its pending
+        handle is remapped, keeping ``(engine_index, request_id)``
+        globally meaningful after re-dispatch.
+        """
+        with self._cond:
+            if self._closing:
+                raise EngineClosed("engine is closed")
+            request.rid = self._next_id
+            request.pending.request_id = request.rid
+            self._next_id += 1
+            self._queue.append(request)
+            self._stats.requests += 1
+            self._stats.max_queue_depth = max(
+                self._stats.max_queue_depth, len(self._queue)
+            )
+            self._cond.notify_all()
+
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut down. ``drain=True`` answers every queued request first;
         ``drain=False`` cancels them. Idempotent.
@@ -349,6 +477,26 @@ class InferenceEngine:
                     f"(draining={self._drain_on_close}); call close() again "
                     "to keep waiting"
                 )
+            if self._crashed:
+                # The worker died rather than closed: whatever it left
+                # behind can never be answered here. Fail each stranded
+                # request loudly — closing a dead engine must not turn
+                # into a silent drop. (A supervised pool strips orphans
+                # with take_orphans() *before* closing, so this only
+                # fires for bare engines / unsupervised pools.)
+                orphans = self.take_orphans()
+                with self._cond:
+                    # These requests are answered (with an error) right
+                    # here, not handed to another engine — keep them on
+                    # this engine's books.
+                    self._stats.requests += len(orphans)
+                    self._stats.errors += len(orphans)
+                for request in orphans:
+                    request.pending._finish(
+                        error=EngineDied(
+                            "engine worker died before answering this request"
+                        )
+                    )
             return
         if already_closing:
             return
@@ -411,6 +559,11 @@ class InferenceEngine:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._queue or self._in_flight:
+                if self._crashed:
+                    raise EngineDied(
+                        "engine worker died with requests outstanding; "
+                        "they will never drain"
+                    )
                 if self._thread is None and not self._closing:
                     raise RuntimeError(
                         "drain() on an engine that was never started; call start()"
@@ -455,10 +608,33 @@ class InferenceEngine:
     # Worker side
     # ------------------------------------------------------------------
     def _worker(self) -> None:
+        try:
+            self._worker_loop()
+        except BaseException as death:
+            # Real crash or injected chaos kill: flag the death and wake
+            # every waiter (drain(), submitters, the pool supervisor)
+            # before the thread unwinds. Nothing is cleaned up here —
+            # stranded requests are exactly the point. Injected kills
+            # stop at the flag (the death is deliberate); anything else
+            # re-raises into the thread excepthook so real bugs stay
+            # loud.
+            with self._cond:
+                self._crashed = True
+                self._cond.notify_all()
+            if not isinstance(death, _InjectedCrash):
+                raise
+
+    def _check_kill_locked(self) -> None:
+        if self._kill:
+            raise _InjectedCrash("chaos kill")
+
+    def _worker_loop(self) -> None:
         while True:
             with self._cond:
+                self._check_kill_locked()
                 while not self._queue and not self._closing:
                     self._cond.wait()
+                    self._check_kill_locked()
                 if not self._queue:  # closing with an empty queue
                     break
                 if self._closing and not self._drain_on_close:
@@ -483,10 +659,12 @@ class InferenceEngine:
         within the window, capped at ``max_batch_size``."""
         with self._cond:
             batch = [self._queue.popleft()]
+            self._current_batch = batch
             self._in_flight = len(batch)
         deadline = time.monotonic() + self.batch_window_s
         while len(batch) < self.max_batch_size:
             with self._cond:
+                self._check_kill_locked()
                 if self._queue:
                     batch.append(self._queue.popleft())
                     self._in_flight = len(batch)
@@ -510,17 +688,23 @@ class InferenceEngine:
         except Exception as exc:  # answer the whole batch with the failure
             error = exc
         finished = time.monotonic()
+        service_s = finished - started
         latencies = [finished - request.enqueued_at for request in batch]
         # Answer the requests before announcing completion: a drain()
         # waiter woken by the notify below must observe finished futures.
         for index, request in enumerate(batch):
             if error is not None:
-                request.pending._finish(error=error, latency_s=latencies[index])
+                request.pending._finish(
+                    error=error, latency_s=latencies[index], service_s=service_s
+                )
             else:
                 request.pending._finish(
-                    value=outputs[index].copy(), latency_s=latencies[index]
+                    value=outputs[index].copy(),
+                    latency_s=latencies[index],
+                    service_s=service_s,
                 )
         with self._cond:
+            self._current_batch = []
             self._stats.forwards += 1
             self._stats.total_forward_s += finished - started
             self._stats.max_batch_seen = max(self._stats.max_batch_seen, len(batch))

@@ -14,10 +14,25 @@ Request identity: engine-local request ids collide across a pool, so
 every :class:`~repro.serve.engine.PendingPrediction` returned here
 carries ``engine_index`` — ``(engine_index, request_id)`` is the
 global identity, which is how the replay verifier maps answers back to
-the engine (and model clone) that produced them.
+the engine (and model clone) that produced them. Engine indices are
+stable for the pool's lifetime: an engine that dies or is retired by
+the autoscaler keeps its index, and replacements get fresh ones.
+
+:class:`AutoscalingEnginePool` extends the fixed pool with a
+supervisor thread that grows and shrinks the engine set from observed
+queue depth (hysteresis + cooldown via :class:`AutoscalePolicy`),
+leasing and releasing clones through
+:meth:`~repro.serve.artifact.ArtifactCache.lease`. The same supervisor
+is the pool's resilience story: a dead worker (crash or
+:meth:`~AutoscalingEnginePool.chaos_kill`) is detected, its lease
+released, a replacement leased, and its stranded requests re-dispatched
+to live engines — or failed loudly with
+:class:`~repro.serve.engine.EngineDied`. No request is ever silently
+dropped.
 
 The pool's ``stats`` property aggregates the per-engine counters with
-:func:`~repro.serve.engine.combine_serve_stats`;
+:func:`~repro.serve.engine.combine_serve_stats` over **every engine
+the pool ever ran** (retired and dead engines' traffic still counts);
 ``per_engine_stats()`` exposes the unmerged views for balance checks.
 """
 
@@ -25,18 +40,41 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.module import Module
 from repro.serve.engine import (
+    EngineClosed,
+    EngineDied,
     InferenceEngine,
     PendingPrediction,
     ServeStats,
     ShutdownTimeout,
     combine_serve_stats,
 )
+
+
+class _EngineSlot:
+    """One engine the pool ever ran, alive or not.
+
+    ``index`` is the engine's stable pool-wide identity (what
+    ``PendingPrediction.engine_index`` refers to); ``fate`` tracks why
+    a slot left the rotation.
+    """
+
+    __slots__ = ("index", "engine", "model", "lease", "born_s", "retired_s", "fate")
+
+    def __init__(self, index: int, engine: InferenceEngine, model: Module, lease=None):
+        self.index = index
+        self.engine = engine
+        self.model = model
+        self.lease = lease
+        self.born_s = time.monotonic()
+        self.retired_s: Optional[float] = None
+        self.fate = "alive"  # alive | retired | died | closed
 
 
 class ServingEnginePool:
@@ -65,43 +103,106 @@ class ServingEnginePool:
                 "pool models must be distinct objects (lease one clone "
                 "per engine; engines assume exclusive ownership)"
             )
-        self._engines: Tuple[InferenceEngine, ...] = tuple(
-            InferenceEngine(
-                model,
-                batch_window_s=batch_window_s,
-                max_batch_size=max_batch_size,
-                record_batches=record_batches,
-                autostart=autostart,
-            )
-            for model in models
-        )
+        self._batch_window_s = float(batch_window_s)
+        self._max_batch_size = int(max_batch_size)
+        self._record_batches = bool(record_batches)
+        self._started = bool(autostart)
         self._lock = threading.Lock()
         self._next = 0
+        self._slots: List[_EngineSlot] = []
+        self._live: List[_EngineSlot] = []
+        for model in models:
+            self._add_engine_locked(model)
+
+    def _add_engine_locked(self, model: Module, lease=None) -> _EngineSlot:
+        """Stand up one more engine and put it in the rotation.
+
+        Callers hold no pool state invariants across this; the slot
+        index is allocated from the all-time slot list so retired and
+        dead engines never have their identity reused.
+        """
+        engine = InferenceEngine(
+            model,
+            batch_window_s=self._batch_window_s,
+            max_batch_size=self._max_batch_size,
+            record_batches=self._record_batches,
+            autostart=self._started,
+        )
+        with self._lock:
+            slot = _EngineSlot(len(self._slots), engine, model, lease)
+            self._slots.append(slot)
+            self._live.append(slot)
+        return slot
 
     # ------------------------------------------------------------------
     @property
     def engines(self) -> Tuple[InferenceEngine, ...]:
-        return self._engines
+        """Engines currently in the rotation (live), pool order."""
+        with self._lock:
+            return tuple(slot.engine for slot in self._live)
 
     def __len__(self) -> int:
-        return len(self._engines)
+        with self._lock:
+            return len(self._live)
+
+    def engine_records(self) -> List[Tuple[int, InferenceEngine, Module]]:
+        """``(engine_index, engine, model)`` for every engine the pool
+        ever ran — including retired and dead ones, whose recorded
+        batches and stats remain readable. This is what replay
+        verification iterates: traffic served by an engine that later
+        left the rotation still has to replay bit-exact."""
+        with self._lock:
+            return [(slot.index, slot.engine, slot.model) for slot in self._slots]
+
+    def engine_lifetimes_s(self) -> List[Dict[str, object]]:
+        """Birth/retirement offsets (seconds since pool construction)
+        and fate of every engine the pool ever ran."""
+        with self._lock:
+            born0 = self._slots[0].born_s if self._slots else 0.0
+            return [
+                {
+                    "engine": slot.index,
+                    "born_s": slot.born_s - born0,
+                    "retired_s": (
+                        None if slot.retired_s is None else slot.retired_s - born0
+                    ),
+                    "fate": slot.fate,
+                }
+                for slot in self._slots
+            ]
 
     @property
     def input_dtype(self) -> np.dtype:
         """The served models' compute dtype (identical across clones)."""
-        return self._engines[0].input_dtype
+        return self._slots[0].engine.input_dtype
 
     # ------------------------------------------------------------------
     # Request side
     # ------------------------------------------------------------------
     def submit(self, x) -> PendingPrediction:
-        """Enqueue one input on the next engine (round-robin)."""
-        with self._lock:
-            index = self._next
-            self._next = (self._next + 1) % len(self._engines)
-        pending = self._engines[index].submit(x)
-        pending.engine_index = index
-        return pending
+        """Enqueue one input on the next live engine (round-robin).
+
+        If the rotation changes underneath us (an engine died or was
+        retired between picking it and submitting), the next live
+        engine is tried; :class:`EngineClosed` propagates only when no
+        live engine accepts.
+        """
+        attempts = 0
+        while True:
+            with self._lock:
+                if not self._live:
+                    raise EngineClosed("pool has no live engines")
+                if attempts > len(self._live):
+                    raise EngineClosed("pool is closed")
+                slot = self._live[self._next % len(self._live)]
+                self._next += 1
+            try:
+                pending = slot.engine.submit(x)
+            except EngineClosed:
+                attempts += 1
+                continue
+            pending.engine_index = slot.index
+            return pending
 
     def predict(self, x, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous single prediction through the pool."""
@@ -111,42 +212,98 @@ class ServingEnginePool:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start every engine's worker thread (idempotent)."""
-        for engine in self._engines:
-            engine.start()
+        """Start every live engine's worker thread (idempotent)."""
+        with self._lock:
+            live = list(self._live)
+            self._started = True
+        for slot in live:
+            slot.engine.start()
 
     def drain(self, timeout: Optional[float] = None) -> None:
-        """Block until every engine has answered its queued requests."""
+        """Block until every live engine has answered its queued work.
+
+        With a ``timeout``, an expired pool deadline raises
+        :class:`TimeoutError` immediately, naming the engines that were
+        never waited on — later engines are not polled with zero-second
+        "waits" that can only misattribute the timeout to them.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        for engine in self._engines:
+        with self._lock:
+            live = list(self._live)
+        for position, slot in enumerate(live):
             remaining = None
             if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            engine.drain(timeout=remaining)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    unreached = [s.index for s in live[position:]]
+                    raise TimeoutError(
+                        f"pool drain deadline ({timeout} s) expired before "
+                        f"engines {unreached} were waited on"
+                    )
+            slot.engine.drain(timeout=remaining)
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut every engine down; the ``timeout`` bounds the whole pool.
 
-        Every engine is asked to close even if an earlier one timed
-        out; if any worker outlived the window a single
-        :class:`ShutdownTimeout` naming the laggards is raised — the
-        pool is then *not* closed, and a later ``close()`` keeps
-        waiting, mirroring the single-engine contract.
+        Failure handling, in order of precedence:
+
+        * An engine whose ``close()`` raises something other than
+          :class:`ShutdownTimeout` does **not** abort the sweep — the
+          remaining engines are still closed (leaking their worker
+          threads because an unrelated engine failed would be strictly
+          worse), and the first such failure is re-raised afterwards.
+        * Engines that outlive their join window are collected; if the
+          pool deadline expires before an engine is even reached, it is
+          named as unreached rather than polled with a zero-second
+          join. Either way a single :class:`ShutdownTimeout` naming
+          them is raised — the pool is then *not* closed, and a later
+          ``close()`` keeps waiting, mirroring the single-engine
+          contract.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            slots = list(self._slots)
         laggards: List[int] = []
-        for index, engine in enumerate(self._engines):
+        unreached: List[int] = []
+        failures: List[Tuple[int, BaseException]] = []
+        for position, slot in enumerate(slots):
             remaining = None
             if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    unreached = [s.index for s in slots[position:]]
+                    break
             try:
-                engine.close(drain=drain, timeout=remaining)
+                slot.engine.close(drain=drain, timeout=remaining)
             except ShutdownTimeout:
-                laggards.append(index)
-        if laggards:
+                laggards.append(slot.index)
+                continue
+            except Exception as exc:
+                failures.append((slot.index, exc))
+                continue
+            with self._lock:
+                if slot.fate == "alive":
+                    slot.fate = "closed"
+                    slot.retired_s = time.monotonic()
+        if failures:
+            index, first = failures[0]
+            if len(failures) > 1 or laggards or unreached:
+                others = [i for i, _ in failures[1:]]
+                note = (
+                    f"while closing the pool: engine {index} failed"
+                    + (f"; engines {others} also failed" if others else "")
+                    + (f"; engines {laggards} timed out" if laggards else "")
+                    + (f"; engines {unreached} never reached" if unreached else "")
+                )
+                if hasattr(first, "add_note"):
+                    first.add_note(note)
+            raise first
+        if laggards or unreached:
             raise ShutdownTimeout(
-                f"engines {laggards} still running after {timeout} s; "
-                "call close() again to keep waiting"
+                f"pool close deadline ({timeout} s) expired: "
+                f"engines {laggards} still running"
+                + (f", engines {unreached} never reached" if unreached else "")
+                + "; call close() again to keep waiting"
             )
 
     def __enter__(self) -> "ServingEnginePool":
@@ -160,9 +317,400 @@ class ServingEnginePool:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> ServeStats:
-        """Aggregated snapshot across all engines."""
-        return combine_serve_stats(engine.stats for engine in self._engines)
+        """Aggregated snapshot across every engine the pool ever ran."""
+        with self._lock:
+            slots = list(self._slots)
+        return combine_serve_stats(slot.engine.stats for slot in slots)
 
     def per_engine_stats(self) -> List[ServeStats]:
-        """Unmerged per-engine snapshots, pool order."""
-        return [engine.stats for engine in self._engines]
+        """Unmerged snapshots of every engine ever run, slot order
+        (slot position == engine index)."""
+        with self._lock:
+            slots = list(self._slots)
+        return [slot.engine.stats for slot in slots]
+
+
+# ----------------------------------------------------------------------
+# Autoscaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-depth autoscaling thresholds with hysteresis.
+
+    The supervisor samples mean queue depth per live engine every
+    ``interval_s``. Depth at or above ``scale_up_depth`` adds an engine
+    (up to ``max_engines``); depth at or below ``scale_down_depth``
+    retires one (down to ``min_engines``). The gap between the two
+    thresholds is the hysteresis band — inside it nothing happens — and
+    ``cooldown_s`` must elapse after any scale event before the next,
+    so an oscillating queue cannot flap the pool.
+    """
+
+    min_engines: int = 1
+    max_engines: int = 4
+    scale_up_depth: float = 8.0
+    scale_down_depth: float = 1.0
+    cooldown_s: float = 0.25
+    interval_s: float = 0.02
+
+    def __post_init__(self):
+        if self.min_engines < 1:
+            raise ValueError(f"min_engines must be >= 1, got {self.min_engines}")
+        if self.max_engines < self.min_engines:
+            raise ValueError(
+                f"max_engines ({self.max_engines}) must be >= "
+                f"min_engines ({self.min_engines})"
+            )
+        if self.scale_down_depth >= self.scale_up_depth:
+            raise ValueError(
+                f"scale_down_depth ({self.scale_down_depth}) must be below "
+                f"scale_up_depth ({self.scale_up_depth}) — the gap is the "
+                "hysteresis band"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "min_engines": self.min_engines,
+            "max_engines": self.max_engines,
+            "scale_up_depth": self.scale_up_depth,
+            "scale_down_depth": self.scale_down_depth,
+            "cooldown_s": self.cooldown_s,
+            "interval_s": self.interval_s,
+        }
+
+
+class AutoscaleDecider:
+    """The autoscaler's pure decision core (no threads, no engines).
+
+    ``observe(depth, engines, now_s)`` returns ``"up"``, ``"down"`` or
+    ``None``. Keeping it free of I/O makes the hysteresis behaviour
+    unit-testable with synthetic depth sequences — the supervisor
+    thread is just a loop feeding it real observations.
+    """
+
+    def __init__(self, policy: AutoscalePolicy):
+        self.policy = policy
+        self._last_event_s: Optional[float] = None
+
+    def observe(self, depth: float, engines: int, now_s: float) -> Optional[str]:
+        policy = self.policy
+        if (
+            self._last_event_s is not None
+            and now_s - self._last_event_s < policy.cooldown_s
+        ):
+            return None
+        if engines < policy.max_engines and depth >= policy.scale_up_depth:
+            self._last_event_s = now_s
+            return "up"
+        if engines > policy.min_engines and depth <= policy.scale_down_depth:
+            self._last_event_s = now_s
+            return "down"
+        return None
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action, offset from pool construction."""
+
+    at_s: float
+    action: str  # "up" | "down" | "death" | "replace"
+    engines: int
+    """Live engines *after* the action."""
+    queue_depth: float
+    """Mean per-engine queue depth that triggered it (0 for deaths)."""
+    engine_index: int
+    """The slot added, retired or lost."""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "at_s": round(self.at_s, 4),
+            "action": self.action,
+            "engines": self.engines,
+            "queue_depth": round(self.queue_depth, 2),
+            "engine_index": self.engine_index,
+        }
+
+
+class AutoscalingEnginePool(ServingEnginePool):
+    """A :class:`ServingEnginePool` that manages its own engine count.
+
+    Engines are leased from an :class:`~repro.serve.artifact.ArtifactCache`
+    (copy-on-lease clones of one artifact) and the pool owns every
+    lease: scale-downs, deaths and ``close()`` release them. A
+    supervisor thread drives :class:`AutoscaleDecider` with observed
+    queue depth and sweeps for dead workers:
+
+    * **death** — the slot leaves the rotation, its orphaned requests
+      are stripped, its lease is released, a replacement is leased
+      (unless the pool is closing), and the orphans are re-dispatched
+      to live engines — or answered with :class:`EngineDied` if none
+      can take them. Either way every request is accounted for.
+    * **scale up** — lease a clone, stand up an engine (started iff
+      the pool is started).
+    * **scale down** — the newest live engine is retired: removed from
+      the rotation, drained, closed, lease released.
+
+    ``chaos_kill()`` injects a worker death on demand (the resilience
+    path's test hook — also exposed as ``repro serve --chaos``).
+    """
+
+    def __init__(
+        self,
+        artifact,
+        cache,
+        policy: Optional[AutoscalePolicy] = None,
+        batch_window_s: float = 0.002,
+        max_batch_size: int = 16,
+        record_batches: bool = False,
+        autostart: bool = True,
+    ):
+        policy = policy if policy is not None else AutoscalePolicy()
+        self._artifact = artifact
+        self._cache = cache
+        self.policy = policy
+        self._decider = AutoscaleDecider(policy)
+        self._events: List[ScaleEvent] = []
+        self._peak_engines = policy.min_engines
+        self._counters = {"ups": 0, "downs": 0, "deaths": 0, "redispatched": 0}
+        self._pool_closing = False
+        self._supervisor_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        leases = []
+        try:
+            for _ in range(policy.min_engines):
+                leases.append(cache.lease(artifact))
+            super().__init__(
+                [lease.model for lease in leases],
+                batch_window_s=batch_window_s,
+                max_batch_size=max_batch_size,
+                record_batches=record_batches,
+                autostart=autostart,
+            )
+        except BaseException:
+            for lease in leases:
+                lease.release()
+            raise
+        with self._lock:
+            for slot, lease in zip(self._slots, leases):
+                slot.lease = lease
+            self._born_s = self._slots[0].born_s
+        if autostart:
+            self._start_supervisor()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        self._start_supervisor()
+
+    def _start_supervisor(self) -> None:
+        if self._supervisor is not None or self._pool_closing:
+            return
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-serve-autoscaler", daemon=True
+        )
+        self._supervisor.start()
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.policy.interval_s):
+            try:
+                self._sweep_deaths()
+                self._consider_scaling()
+            except BaseException as exc:
+                # A broken supervisor must not die silently: remember
+                # the failure (close() re-raises it) and stop driving.
+                self._supervisor_error = exc
+                return
+
+    # ------------------------------------------------------------------
+    # Death handling
+    # ------------------------------------------------------------------
+    def _sweep_deaths(self, replace: bool = True) -> None:
+        with self._lock:
+            live = list(self._live)
+        for slot in live:
+            if slot.engine.worker_died:
+                self._handle_death(slot, replace=replace)
+
+    def _handle_death(self, slot: _EngineSlot, replace: bool = True) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if slot not in self._live:
+                return
+            self._live.remove(slot)
+            slot.fate = "died"
+            slot.retired_s = now
+            engines_now = len(self._live)
+        orphans = slot.engine.take_orphans()
+        if slot.lease is not None:
+            slot.lease.release()
+        self._counters["deaths"] += 1
+        self._events.append(
+            ScaleEvent(now - self._born_s, "death", engines_now, 0.0, slot.index)
+        )
+        replace_error: Optional[BaseException] = None
+        if replace and not self._pool_closing:
+            try:
+                lease = self._cache.lease(self._artifact)
+                new_slot = self._add_engine_locked(lease.model, lease)
+            except Exception as exc:
+                # A failed replacement must not strand the orphans —
+                # re-dispatch to whatever is still live (or fail each
+                # loudly below), then surface the lease failure.
+                replace_error = exc
+            else:
+                with self._lock:
+                    self._peak_engines = max(self._peak_engines, len(self._live))
+                    engines_now = len(self._live)
+                self._events.append(
+                    ScaleEvent(
+                        time.monotonic() - self._born_s,
+                        "replace",
+                        engines_now,
+                        0.0,
+                        new_slot.index,
+                    )
+                )
+        for request in orphans:
+            self._redispatch(slot.index, request)
+        if replace_error is not None:
+            raise replace_error
+
+    def _redispatch(self, dead_index: int, request) -> None:
+        attempts = 0
+        while True:
+            with self._lock:
+                live = list(self._live)
+            if not live or attempts > len(live):
+                request.pending._finish(
+                    error=EngineDied(
+                        f"engine {dead_index} died and its request could "
+                        "not be re-dispatched (no live engine accepted it)"
+                    )
+                )
+                return
+            with self._lock:
+                if not self._live:
+                    continue
+                slot = self._live[self._next % len(self._live)]
+                self._next += 1
+            try:
+                slot.engine.adopt(request)
+            except EngineClosed:
+                attempts += 1
+                continue
+            request.pending.engine_index = slot.index
+            self._counters["redispatched"] += 1
+            return
+
+    def chaos_kill(self, engine_index: Optional[int] = None) -> int:
+        """Kill a live engine's worker abruptly; returns its index.
+
+        The supervisor then detects the death, releases the lease,
+        leases a replacement and rescues the stranded requests — that
+        whole path is what this hook exists to exercise.
+        """
+        with self._lock:
+            if not self._live:
+                raise RuntimeError("no live engines to kill")
+            if engine_index is None:
+                slot = self._live[0]
+            else:
+                matches = [s for s in self._live if s.index == engine_index]
+                if not matches:
+                    raise ValueError(f"engine {engine_index} is not live")
+                slot = matches[0]
+        slot.engine.kill()
+        return slot.index
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def _consider_scaling(self) -> None:
+        with self._lock:
+            live = list(self._live)
+        if not live or self._pool_closing:
+            return
+        depth = sum(slot.engine.queue_depth for slot in live) / len(live)
+        now = time.monotonic()
+        action = self._decider.observe(depth, len(live), now)
+        if action == "up":
+            lease = self._cache.lease(self._artifact)
+            slot = self._add_engine_locked(lease.model, lease)
+            with self._lock:
+                engines_now = len(self._live)
+                self._peak_engines = max(self._peak_engines, engines_now)
+            self._counters["ups"] += 1
+            self._events.append(
+                ScaleEvent(now - self._born_s, "up", engines_now, depth, slot.index)
+            )
+        elif action == "down":
+            with self._lock:
+                if len(self._live) <= self.policy.min_engines:
+                    return
+                slot = self._live[-1]  # newest first: LIFO keeps index 0 stable
+                self._live.remove(slot)
+                slot.fate = "retired"
+                slot.retired_s = now
+                engines_now = len(self._live)
+            self._counters["downs"] += 1
+            self._events.append(
+                ScaleEvent(now - self._born_s, "down", engines_now, depth, slot.index)
+            )
+            # Retired engines drain gracefully — a scale-down never
+            # drops or delays already-accepted work.
+            slot.engine.close(drain=True)
+            if slot.lease is not None:
+                slot.lease.release()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def scale_events(self) -> List[ScaleEvent]:
+        return list(self._events)
+
+    @property
+    def peak_engines(self) -> int:
+        return self._peak_engines
+
+    @property
+    def stats(self) -> ServeStats:
+        merged = super().stats
+        merged.scale_ups = self._counters["ups"]
+        merged.scale_downs = self._counters["downs"]
+        merged.engine_deaths = self._counters["deaths"]
+        merged.redispatched = self._counters["redispatched"]
+        return merged
+
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the supervisor, rescue any last orphans, close every
+        engine, then release the remaining leases.
+
+        Leases are only released after the close sweep succeeds — a
+        :class:`ShutdownTimeout` leaves the laggards' leases held, and
+        the retried ``close()`` releases them (release is idempotent).
+        """
+        self._pool_closing = True
+        self._stop.set()
+        supervisor = self._supervisor
+        if supervisor is not None and supervisor.is_alive():
+            supervisor.join()
+        # Final death sweep without replacement: orphans are
+        # re-dispatched to the engines we are about to drain-close (they
+        # still answer their queues), or failed loudly if none is live.
+        self._sweep_deaths(replace=False)
+        super().close(drain=drain, timeout=timeout)
+        with self._lock:
+            slots = list(self._slots)
+        for slot in slots:
+            if slot.lease is not None:
+                slot.lease.release()
+        if self._supervisor_error is not None:
+            error = self._supervisor_error
+            self._supervisor_error = None
+            raise RuntimeError("autoscale supervisor died mid-run") from error

@@ -1,18 +1,25 @@
 """Request-replay load generation and the sweepable serving benchmark.
 
 :func:`replay_requests` drives a :class:`ServingSession` with
-``concurrency`` client threads replaying a fixed input sequence and
-returns a JSON-able throughput/latency payload plus the raw outputs.
-:func:`verify_replay` re-runs the engine's recorded batches through the
-model directly and checks the answers bitwise — the parity contract of
-:mod:`repro.serve.engine`, exercised from the CLI via
-``repro serve``.
+``concurrency`` client threads replaying a fixed input sequence
+(closed-loop: one outstanding request per client) and returns a
+JSON-able throughput/latency payload plus the raw outputs.
+:func:`replay_trace` is the open-loop counterpart: it dispatches a
+seeded :class:`~repro.serve.trace.TrafficTrace` (uniform / Poisson /
+bursty / diurnal arrivals, mixed batch sizes) at its scheduled arrival
+timestamps whether or not earlier answers are back, and reports
+p50/p95/p99 latency, queue-wait vs service time, SLO attainment, and —
+for autoscaled sessions — scale events and chaos recovery.
+:func:`verify_replay` re-runs the engines' recorded batches through the
+models directly and checks the answers bitwise — the parity contract of
+:mod:`repro.serve.engine`, exercised from the CLI via ``repro serve``;
+pass ``expected`` to make partial coverage an error.
 
 :func:`run_point` packages the whole thing (pretrained preset →
-uniform-bit artifact → batched replay vs sequential baseline) as a
-runner unit, registered as the ``serve-replay`` family in
-:mod:`repro.runner.registry`, so sweeps can include serving benchmarks
-alongside accuracy grids.
+uniform-bit artifact → trace-driven replay vs sequential baseline,
+optionally autoscaled and chaos-killed) as a runner unit, registered
+as the ``serve-replay`` family in :mod:`repro.runner.registry`, so
+sweeps can include serving benchmarks alongside accuracy grids.
 """
 
 from __future__ import annotations
@@ -25,7 +32,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.serve.artifact import ArtifactManifest, ServingArtifact, compile_artifact
+from repro.serve.pool import AutoscalePolicy
 from repro.serve.session import ServeConfig, ServingSession
+from repro.serve.trace import TraceConfig, TrafficTrace, generate_trace
 
 
 @dataclass
@@ -152,7 +161,12 @@ def replay_requests(
     )
 
 
-def verify_replay(session: ServingSession, inputs: np.ndarray, run: ReplayRun) -> int:
+def verify_replay(
+    session: ServingSession,
+    inputs: np.ndarray,
+    run: ReplayRun,
+    expected: Optional[int] = None,
+) -> int:
     """Bit-exact parity check: re-run every recorded batch directly.
 
     Requires the session's engines to record batches
@@ -161,31 +175,33 @@ def verify_replay(session: ServingSession, inputs: np.ndarray, run: ReplayRun) -
     computation the engine performed — and compared to the served
     answers **bitwise**. Multi-engine sessions verify every engine
     against its own model clone (clones are bit-identical, so this is
-    also cross-engine parity). Returns the number of verified requests;
-    raises ``AssertionError`` on the first mismatch. Batches that also
-    carried non-replay traffic (e.g. a ``warmup`` request whose input
-    this function cannot know) are skipped, so compare the return value
-    against your request count to detect partial coverage.
+    also cross-engine parity) — including engines an autoscaler has
+    since retired or replaced, whose recorded batches remain readable.
+    Returns the number of verified requests; raises ``AssertionError``
+    on the first mismatch. Batches that also carried non-replay traffic
+    (e.g. a ``warmup`` request whose input this function cannot know)
+    are skipped — pass ``expected`` (your request count) to make
+    partial coverage itself an ``AssertionError`` instead of a silently
+    smaller return value.
     """
     from repro.tensor.tensor import Tensor, no_grad
 
     inputs = np.asarray(inputs, dtype=session.input_dtype)  # what the engines served
+    records = session.engine_records()
     engine_indices = run.engine_indices
     if not engine_indices:
-        if len(session.engines) > 1:
+        if len(records) > 1:
             # Request ids are engine-local and collide across a pool:
             # without the engine map we would attribute rows to the
             # wrong engine and "verify" garbage. Fail loudly instead.
             raise ValueError(
                 "ReplayRun carries no engine_indices but the session has "
-                f"{len(session.engines)} engines; record "
+                f"{len(records)} engines; record "
                 "pending.engine_index alongside pending.request_id"
             )
         engine_indices = [0] * len(run.request_ids)
     verified = 0
-    for engine_index, (engine, model) in enumerate(
-        zip(session.engines, session.models)
-    ):
+    for engine_index, engine, model in records:
         index_of = {
             rid: row
             for row, (eng, rid) in enumerate(zip(engine_indices, run.request_ids))
@@ -205,6 +221,12 @@ def verify_replay(session: ServingSession, inputs: np.ndarray, run: ReplayRun) -
                         f"forward on its executed batch"
                     )
                 verified += 1
+    if expected is not None and verified != expected:
+        raise AssertionError(
+            f"replay parity verified only {verified}/{expected} requests — "
+            "executed batches carrying non-replay traffic (warmup, another "
+            "client) were skipped; partial coverage is not proof of parity"
+        )
     return verified
 
 
@@ -222,6 +244,228 @@ def render_replay(payload: Dict[str, object], title: str = "replay") -> str:
         f"mean {latency['mean']:.2f}, p50 {latency['p50']:.2f}, "
         f"p95 {latency['p95']:.2f}, max {latency['max']:.2f}"
     )
+
+
+# ----------------------------------------------------------------------
+# Open-loop trace replay
+# ----------------------------------------------------------------------
+def replay_trace(
+    session: ServingSession,
+    images: np.ndarray,
+    trace: "TrafficTrace",
+    slo_ms: Optional[float] = None,
+    chaos_kill_at_s: Optional[float] = None,
+    result_timeout_s: float = 120.0,
+) -> ReplayRun:
+    """Drive ``session`` with a :class:`~repro.serve.trace.TrafficTrace`.
+
+    Unlike :func:`replay_requests` (closed-loop: each client waits for
+    its answer before sending the next), this dispatcher is
+    **open-loop**: request ``i`` is submitted at its scheduled arrival
+    offset ``trace.arrivals_s[i]`` whether or not earlier requests have
+    been answered — the queue is allowed to build, which is the whole
+    point of a bursty trace. A request's ``batch_sizes[i]`` input rows
+    are submitted back to back at its arrival.
+
+    Latency accounting is per *request*, measured from the scheduled
+    arrival to the completion of the request's last row — dispatcher
+    lateness under overload counts against the server, as it would for
+    a real client. Per-row queue-wait (``latency - service``) and
+    service time come from the engines' own timestamps.
+
+    ``chaos_kill_at_s`` arms a timer that kills one live engine's
+    worker mid-replay (autoscaled sessions only — the supervisor is
+    what turns a death into recovery). Every request still completes
+    bit-exact or raises; nothing is silently dropped.
+
+    The returned payload reports p50/p95/p99 latency, queue-wait vs
+    service time, SLO attainment against ``slo_ms``, and — for
+    autoscaled sessions — scale events and engine lifetimes.
+    """
+    from repro.serve.pool import AutoscalingEnginePool
+
+    inputs = np.asarray(images, dtype=session.input_dtype)
+    if len(inputs) == 0:
+        raise ValueError("no images to replay")
+    n = trace.requests
+    sizes = trace.batch_sizes.astype(int)
+    rows = int(sizes.sum())
+    row_inputs = inputs[np.arange(rows) % len(inputs)]
+    row_request = np.repeat(np.arange(n), sizes)
+
+    pool = session.pool
+    autoscaled = isinstance(pool, AutoscalingEnginePool)
+    kill_timer: Optional[threading.Timer] = None
+    killed: List[int] = []
+    if chaos_kill_at_s is not None:
+        if not autoscaled:
+            raise ValueError(
+                "chaos_kill_at_s needs an autoscaled session — only the "
+                "supervisor turns an engine death into recovery; a fixed "
+                "pool would just fail the stranded requests"
+            )
+        kill_timer = threading.Timer(
+            chaos_kill_at_s, lambda: killed.append(pool.chaos_kill())
+        )
+        kill_timer.daemon = True
+
+    before = session.stats
+    engines_start = len(session.engines)
+    pendings = []
+    dispatched_s = np.zeros(rows)
+    started = time.monotonic()
+    if kill_timer is not None:
+        kill_timer.start()
+    try:
+        row = 0
+        for i in range(n):
+            target = started + float(trace.arrivals_s[i])
+            while True:
+                delay = target - time.monotonic()
+                if delay <= 0:
+                    break
+                time.sleep(min(delay, 0.05))
+            for _ in range(int(sizes[i])):
+                dispatched_s[row] = time.monotonic() - started
+                pendings.append(session.submit(row_inputs[row]))
+                row += 1
+        # Failures raise here — an open-loop replay never swallows one.
+        outputs = [p.result(timeout=result_timeout_s) for p in pendings]
+    finally:
+        if kill_timer is not None:
+            kill_timer.cancel()
+    wall_s = time.monotonic() - started
+    after = session.stats
+
+    # Identity is read *after* completion: a re-dispatched request's
+    # (engine_index, request_id) points at the engine that answered it.
+    request_ids = [p.request_id for p in pendings]
+    engine_indices = [p.engine_index for p in pendings]
+
+    row_latency = np.array([p.latency_s for p in pendings])
+    row_service = np.array(
+        [p.service_s if p.service_s is not None else 0.0 for p in pendings]
+    )
+    row_queue_wait = np.maximum(row_latency - row_service, 0.0)
+    row_complete = dispatched_s + row_latency
+    # Request completion = its last row's completion, measured against
+    # the scheduled (not actual) arrival.
+    request_complete = np.zeros(n)
+    np.maximum.at(request_complete, row_request, row_complete)
+    request_latency = request_complete - np.asarray(trace.arrivals_s)
+
+    latency_ms = request_latency * 1e3
+    forwards = after.forwards - before.forwards
+    served = after.served - before.served
+    payload: Dict[str, object] = {
+        "requests": int(n),
+        "rows": int(rows),
+        "trace": trace.to_payload(),
+        "wall_s": float(wall_s),
+        "throughput_rps": float(n / wall_s) if wall_s > 0 else 0.0,
+        "rows_per_s": float(rows / wall_s) if wall_s > 0 else 0.0,
+        "forwards": int(forwards),
+        "mean_batch_size": float(served / forwards) if forwards else 0.0,
+        "latency_ms": {
+            "mean": float(latency_ms.mean()),
+            "p50": float(np.percentile(latency_ms, 50)),
+            "p95": float(np.percentile(latency_ms, 95)),
+            "p99": float(np.percentile(latency_ms, 99)),
+            "max": float(latency_ms.max()),
+        },
+        "queue_wait_ms": {
+            "mean": float(row_queue_wait.mean() * 1e3),
+            "p95": float(np.percentile(row_queue_wait, 95) * 1e3),
+        },
+        "service_ms": {
+            "mean": float(row_service.mean() * 1e3),
+            "p95": float(np.percentile(row_service, 95) * 1e3),
+        },
+        "slo_ms": None if slo_ms is None else float(slo_ms),
+        "slo_attainment": (
+            None if slo_ms is None else float((latency_ms <= slo_ms).mean())
+        ),
+        "engines": {
+            "start": int(engines_start),
+            "final": len(session.engines),
+            "peak": int(pool.peak_engines) if autoscaled else int(engines_start),
+        },
+    }
+    payload["autoscale"] = {"enabled": False}
+    if autoscaled:
+        stats = pool.stats
+        payload["autoscale"] = {
+            "enabled": True,
+            "policy": pool.policy.to_dict(),
+            "scale_ups": stats.scale_ups,
+            "scale_downs": stats.scale_downs,
+            "engine_deaths": stats.engine_deaths,
+            "redispatched": stats.redispatched,
+            "events": [event.to_dict() for event in pool.scale_events()],
+            "engine_lifetimes_s": pool.engine_lifetimes_s(),
+        }
+    if chaos_kill_at_s is not None:
+        payload["chaos"] = {
+            "kill_at_s": float(chaos_kill_at_s),
+            "killed_engine": killed[0] if killed else None,
+        }
+    return ReplayRun(
+        payload=payload,
+        outputs=np.stack(outputs),
+        request_ids=request_ids,
+        engine_indices=engine_indices,
+    )
+
+
+def render_trace_replay(payload: Dict[str, object], title: str = "trace replay") -> str:
+    """Multi-line human rendering of a :func:`replay_trace` payload."""
+    trace = payload["trace"]
+    latency = payload["latency_ms"]
+    queue_wait = payload["queue_wait_ms"]
+    service = payload["service_ms"]
+    engines = payload["engines"]
+    lines = [
+        f"{title} [{trace['kind']} @ {trace['rate_rps']:g} rps, "
+        f"seed {trace['seed']}]: {payload['requests']} requests "
+        f"({payload['rows']} rows) in {payload['wall_s']:.3f} s -> "
+        f"{payload['throughput_rps']:.1f} req/s | {payload['forwards']} forwards "
+        f"(mean batch {payload['mean_batch_size']:.2f})",
+        f"latency ms: mean {latency['mean']:.2f}, p50 {latency['p50']:.2f}, "
+        f"p95 {latency['p95']:.2f}, p99 {latency['p99']:.2f}, "
+        f"max {latency['max']:.2f} | queue-wait mean {queue_wait['mean']:.2f}, "
+        f"service mean {service['mean']:.2f}",
+    ]
+    if payload.get("slo_ms") is not None:
+        attainment = payload["slo_attainment"]
+        verdict = "OK" if latency["p95"] <= payload["slo_ms"] else "MISS"
+        lines.append(
+            f"SLO {payload['slo_ms']:g} ms: {attainment * 100:.1f}% attained — "
+            f"p95 vs SLO: {verdict} ({latency['p95']:.2f} vs "
+            f"{payload['slo_ms']:g} ms)"
+        )
+    autoscale = payload.get("autoscale") or {}
+    if autoscale.get("enabled"):
+        policy = autoscale["policy"]
+        lines.append(
+            f"autoscale[{policy['min_engines']}..{policy['max_engines']}]: "
+            f"{autoscale['scale_ups']} up, {autoscale['scale_downs']} down, "
+            f"{autoscale['engine_deaths']} deaths, "
+            f"{autoscale['redispatched']} redispatched; "
+            f"peak {engines['peak']}, final {engines['final']} engines"
+        )
+        for event in autoscale["events"]:
+            lines.append(
+                f"  scale {event['action']} @{event['at_s']:.2f}s -> "
+                f"{event['engines']} engines (engine {event['engine_index']}, "
+                f"depth {event['queue_depth']:g})"
+            )
+    chaos = payload.get("chaos")
+    if chaos:
+        lines.append(
+            f"chaos: killed engine {chaos['killed_engine']} "
+            f"@{chaos['kill_at_s']:.2f}s; every request completed or raised"
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -271,30 +515,64 @@ def run_point(
     seed: int = 0,
     bits: int = 2,
     requests: int = 64,
-    concurrency: int = 4,
+    trace: str = "uniform",
+    rate_rps: float = 200.0,
+    batch_mix: tuple = (1,),
+    slo_ms: float = 50.0,
     batch_window_ms: float = 2.0,
     max_batch_size: int = 16,
     pool_size: int = 1,
+    autoscale: bool = False,
+    max_engines: int = 4,
+    chaos: bool = False,
     compare_sequential: bool = True,
 ) -> Dict[str, object]:
     """One serving-benchmark grid point (a runner-unit target).
 
     Serves a uniform-``bits`` artifact of the pretrained preset under a
-    concurrent replay — fanned out across ``pool_size`` engines leased
-    from one artifact — optionally against a sequential
-    (``max_batch_size=1``, single-engine) baseline, and returns the
-    JSON-able report.
+    seeded open-loop traffic ``trace`` (see
+    :data:`~repro.serve.trace.TRACE_KINDS`) — fanned out across
+    ``pool_size`` engines leased from one artifact, or autoscaled
+    between ``pool_size`` and ``max_engines`` from queue depth when
+    ``autoscale`` is set — optionally against a sequential
+    (``max_batch_size=1``, single-engine) baseline replaying the same
+    trace, and returns the JSON-able report. The trace is seeded from
+    ``seed``, so the same grid point always offers the identical load
+    (same arrivals, same batch mix) and parity verification is strict:
+    a verified-request shortfall raises rather than shrinking a number
+    nobody reads. ``chaos`` kills one engine a third of the way into
+    the trace and requires ``autoscale`` (the supervisor is the
+    recovery path).
     """
     from repro.experiments.presets import get_dataset
 
+    if chaos and not autoscale:
+        raise ValueError(
+            "chaos=True needs autoscale=True — the pool supervisor is what "
+            "recovers a killed engine"
+        )
     artifact = build_uniform_artifact(
         model=model, dataset=dataset, scale=scale, seed=seed, bits=bits
     )
     data = get_dataset(dataset, scale=scale, seed=seed)
-    inputs = cycle_inputs(data.test_images, requests)
+    traffic = generate_trace(
+        TraceConfig(
+            kind=trace,
+            requests=int(requests),
+            rate_rps=float(rate_rps),
+            seed=int(seed),
+            batch_sizes=tuple(int(b) for b in batch_mix),
+        )
+    )
+    row_inputs = cycle_inputs(data.test_images, traffic.rows)
+    kill_at_s = 0.35 * max(traffic.duration_s, 1e-3) if chaos else None
 
     def one_replay(
-        window_s: float, batch_cap: int, engines: int
+        window_s: float,
+        batch_cap: int,
+        engines: int,
+        policy: Optional[AutoscalePolicy] = None,
+        kill_at: Optional[float] = None,
     ) -> Dict[str, object]:
         session = ServingSession(
             artifact,
@@ -302,19 +580,37 @@ def run_point(
                 batch_window_s=window_s,
                 max_batch_size=batch_cap,
                 record_batches=True,
-                engines=engines,
+                engines=1 if policy is not None else engines,
+                autoscale=policy,
             ),
         )
         try:
-            run = replay_requests(session, inputs, concurrency=concurrency)
+            run = replay_trace(
+                session,
+                row_inputs,
+                traffic,
+                slo_ms=float(slo_ms),
+                chaos_kill_at_s=kill_at,
+            )
             run.payload["verified_requests"] = int(
-                verify_replay(session, inputs, run)
+                verify_replay(session, row_inputs, run, expected=traffic.rows)
             )
             return run.payload
         finally:
             session.close()
 
-    batched = one_replay(batch_window_ms / 1e3, max_batch_size, int(pool_size))
+    policy = None
+    if autoscale:
+        policy = AutoscalePolicy(
+            min_engines=int(pool_size), max_engines=int(max_engines)
+        )
+    batched = one_replay(
+        batch_window_ms / 1e3,
+        max_batch_size,
+        int(pool_size),
+        policy=policy,
+        kill_at=kill_at_s,
+    )
     payload: Dict[str, object] = {
         "model": model,
         "dataset": dataset,
@@ -322,6 +618,11 @@ def run_point(
         "seed": int(seed),
         "bits": int(bits),
         "pool_size": int(pool_size),
+        "trace_kind": trace,
+        "rate_rps": float(rate_rps),
+        "autoscale": bool(autoscale),
+        "max_engines": int(max_engines),
+        "chaos": bool(chaos),
         "artifact_nbytes": int(artifact.nbytes),
         "payload_nbytes": int(artifact.payload_nbytes),
         "sidecar_nbytes": int(artifact.sidecar_nbytes),
@@ -340,11 +641,16 @@ def render(payload: Dict[str, object]) -> str:
     pool_note = (
         f", pool {payload['pool_size']}" if payload.get("pool_size", 1) != 1 else ""
     )
+    if payload.get("autoscale"):
+        pool_note = (
+            f", autoscale {payload['pool_size']}..{payload['max_engines']}"
+            + (", chaos" if payload.get("chaos") else "")
+        )
     lines = [
         f"serve replay — {payload['model']} on {payload['dataset']} "
         f"({payload['scale']}, uniform {payload['bits']} bits, "
         f"seed {payload['seed']}{pool_note})",
-        render_replay(payload["batched"], title="micro-batched"),
+        render_trace_replay(payload["batched"], title="micro-batched"),
     ]
     if "artifact_nbytes" in payload:
         lines.append(
@@ -353,7 +659,7 @@ def render(payload: Dict[str, object]) -> str:
             f"sidecar {payload['sidecar_nbytes']})"
         )
     if "sequential" in payload:
-        lines.append(render_replay(payload["sequential"], title="sequential"))
+        lines.append(render_trace_replay(payload["sequential"], title="sequential"))
     if "speedup" in payload:
         lines.append(f"micro-batching speedup: x{payload['speedup']:.2f}")
     lines.append(

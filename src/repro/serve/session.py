@@ -39,7 +39,11 @@ from repro.serve.artifact import (
     ServingArtifact,
 )
 from repro.serve.engine import InferenceEngine, PendingPrediction, ServeStats
-from repro.serve.pool import ServingEnginePool
+from repro.serve.pool import (
+    AutoscalePolicy,
+    AutoscalingEnginePool,
+    ServingEnginePool,
+)
 
 
 @dataclass
@@ -49,6 +53,13 @@ class ServeConfig:
     ``engines`` fans the session out across that many engines, each
     serving a private model clone leased from the artifact —
     multi-engine sessions require an artifact (or path) source.
+
+    ``autoscale`` replaces the fixed fan-out with an
+    :class:`~repro.serve.pool.AutoscalingEnginePool` that grows and
+    shrinks between the policy's ``min_engines``/``max_engines`` from
+    observed queue depth. Autoscaled sessions need an artifact (or
+    path) source — engines are leased clones — and leave ``engines``
+    at 1 (the bounds live on the policy).
     """
 
     batch_window_s: float = 0.002
@@ -56,6 +67,7 @@ class ServeConfig:
     record_batches: bool = False
     autostart: bool = True
     engines: int = 1
+    autoscale: Optional[AutoscalePolicy] = None
 
 
 class ServingSession:
@@ -83,7 +95,40 @@ class ServingSession:
         # pool up must return the claims, or the cache entry would stay
         # pinned (and the refcount inflated) for the process lifetime.
         try:
-            if isinstance(source, (str, Path)):
+            if config.autoscale is not None:
+                if config.engines != 1:
+                    raise ValueError(
+                        "autoscaled sessions take their engine bounds from "
+                        "AutoscalePolicy (min_engines/max_engines); leave "
+                        "ServeConfig.engines at 1"
+                    )
+                if isinstance(source, (str, Path)):
+                    cache = cache if cache is not None else DEFAULT_CACHE
+                    self.artifact = cache.load(source)
+                elif isinstance(source, ServingArtifact):
+                    self.artifact = source
+                    if cache is None:
+                        # A private cache: the pool's lease/release
+                        # accounting still balances, without polluting
+                        # the process-wide cache with ad-hoc artifacts.
+                        cache = ArtifactCache()
+                else:
+                    raise ValueError(
+                        "an autoscaled session cannot serve a bare model — "
+                        "engines are leased clones; serve an artifact"
+                    )
+                # The pool owns its leases (scale events create and
+                # release them); the session holds none of its own.
+                self._pool = AutoscalingEnginePool(
+                    self.artifact,
+                    cache,
+                    policy=config.autoscale,
+                    batch_window_s=config.batch_window_s,
+                    max_batch_size=config.max_batch_size,
+                    record_batches=config.record_batches,
+                    autostart=config.autostart,
+                )
+            elif isinstance(source, (str, Path)):
                 cache = cache if cache is not None else DEFAULT_CACHE
                 # Read + hash the file once; further engines lease the
                 # already-parsed artifact (an adopt hit, no I/O).
@@ -115,14 +160,14 @@ class ServingSession:
                     f"source must be a path, ServingArtifact or Module, "
                     f"got {type(source)}"
                 )
-            self._models: Tuple[Module, ...] = tuple(models)
-            self._pool = ServingEnginePool(
-                models,
-                batch_window_s=config.batch_window_s,
-                max_batch_size=config.max_batch_size,
-                record_batches=config.record_batches,
-                autostart=config.autostart,
-            )
+            if config.autoscale is None:
+                self._pool = ServingEnginePool(
+                    models,
+                    batch_window_s=config.batch_window_s,
+                    max_batch_size=config.max_batch_size,
+                    record_batches=config.record_batches,
+                    autostart=config.autostart,
+                )
         except BaseException:
             for lease in self._leases:
                 lease.release()
@@ -157,14 +202,21 @@ class ServingSession:
 
     @property
     def models(self) -> Tuple[Module, ...]:
-        """The served model of each engine (``models[i]`` is owned by
-        ``engines[i]``'s worker thread)."""
-        return self._models
+        """The served model of every engine the session ever ran
+        (``models[i]`` is owned by engine ``i``'s worker thread —
+        indices are stable even after autoscaling replaces engines)."""
+        return tuple(model for _, _, model in self._pool.engine_records())
 
     @property
     def model(self) -> Module:
         """The first engine's served model (owned by its worker thread)."""
-        return self._models[0]
+        return self.models[0]
+
+    def engine_records(self) -> List[Tuple[int, InferenceEngine, Module]]:
+        """``(engine_index, engine, model)`` for every engine the
+        session ever ran, including engines the autoscaler has since
+        retired or replaced (their recorded batches stay verifiable)."""
+        return self._pool.engine_records()
 
     @property
     def input_dtype(self) -> np.dtype:

@@ -401,3 +401,101 @@ class TestParityReplay:
             for position, rid in enumerate(batch):
                 np.testing.assert_array_equal(outputs[rid], reference[position])
         engine.close()
+
+
+class TestChaosPrimitives:
+    """The engine-level building blocks the autoscaling pool's death
+    handling relies on: kill(), worker_died, take_orphans(), adopt()."""
+
+    def wait_for_death(self, engine, timeout_s: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while not engine.worker_died:
+            if time.monotonic() > deadline:
+                raise AssertionError("killed worker did not die in time")
+            time.sleep(0.005)
+
+    def test_kill_before_start_raises(self):
+        engine = InferenceEngine(make_toy_model(), autostart=False)
+        with pytest.raises(EngineClosed):
+            engine.kill()
+        engine.close()
+
+    def test_kill_flags_worker_died_even_when_idle(self):
+        engine = InferenceEngine(make_toy_model())
+        assert not engine.worker_died
+        engine.kill()
+        self.wait_for_death(engine)
+
+    def test_drain_on_dead_engine_raises(self):
+        from repro.serve import EngineDied
+
+        engine = InferenceEngine(make_toy_model())
+        engine.kill()
+        self.wait_for_death(engine)
+        engine.drain(timeout=10)  # nothing outstanding: trivially drained
+        pending = engine.submit(np.zeros(3))
+        with pytest.raises(EngineDied, match="never drain"):
+            engine.drain(timeout=10)
+        engine.close()
+        with pytest.raises(EngineDied):
+            pending.result(timeout=10)
+
+    def test_take_orphans_returns_unanswered_queue(self):
+        engine = InferenceEngine(make_toy_model())
+        engine.kill()
+        self.wait_for_death(engine)
+        # A dead-but-unswept engine still accepts submits: they queue
+        # behind a worker that will never run.
+        pendings = [engine.submit(np.zeros(3)) for _ in range(4)]
+        assert engine.queue_depth == 4
+        orphans = engine.take_orphans()
+        assert len(orphans) == 4
+        assert {o.pending for o in orphans} == set(pendings)
+        assert engine.queue_depth == 0
+        # The orphans were subtracted: whoever adopts them re-counts.
+        assert engine.stats.requests == 0
+        assert engine.take_orphans() == []  # idempotent
+        engine.close()
+
+    def test_adopt_remaps_request_identity(self):
+        model = make_toy_model()
+        dead = InferenceEngine(model)
+        dead.kill()
+        self.wait_for_death(dead)
+        x = np.array([1.0, 2.0, 3.0])
+        pending = dead.submit(x)
+        (orphan,) = dead.take_orphans()
+        with InferenceEngine(model) as rescue:
+            filler = rescue.submit(np.zeros(3))  # desynchronise the rid counters
+            filler.result(timeout=10)
+            rescue.adopt(orphan)
+            np.testing.assert_array_equal(
+                pending.result(timeout=10), expected_output(model, x)
+            )
+            # The adopted request carries the rescuer's engine-local id,
+            # so recorded batches resolve it correctly.
+            assert pending.request_id == orphan.rid
+            assert rescue.stats.completed == 2
+        dead.close()
+
+    def test_close_answers_orphans_loudly(self):
+        from repro.serve import EngineDied
+
+        engine = InferenceEngine(make_toy_model())
+        engine.kill()
+        self.wait_for_death(engine)
+        pending = engine.submit(np.zeros(3))
+        engine.close()
+        with pytest.raises(EngineDied, match="died before answering"):
+            pending.result(timeout=10)
+        stats = engine.stats
+        assert stats.errors == 1
+        assert stats.requests == 1
+
+    def test_service_time_is_within_latency(self):
+        engine = InferenceEngine(SlowModel(delay_s=0.05))
+        pending = engine.submit(np.zeros(3))
+        pending.result(timeout=10)
+        assert pending.service_s is not None
+        assert 0.0 < pending.service_s <= pending.latency_s
+        engine.close()

@@ -302,3 +302,57 @@ class TestReplayHarness:
         run.outputs[0, 0] += 1.0
         with pytest.raises(AssertionError, match="bit-exact"):
             verify_replay(session, inputs, run)
+
+    def test_trace_replay_on_fixed_pool_renders(self, served_setup):
+        """Regression: a fixed (non-autoscaled) session's trace payload
+        carries ``autoscale: {enabled: False}`` and must still render."""
+        from repro.serve import TraceConfig, generate_trace, render_trace_replay, replay_trace
+
+        _model, session, inputs, _dtype = served_setup
+        trace = generate_trace(
+            TraceConfig(kind="uniform", requests=6, rate_rps=500.0)
+        )
+        run = replay_trace(session, inputs, trace, slo_ms=1000.0)
+        assert run.payload["autoscale"] == {"enabled": False}
+        rendered = render_trace_replay(run.payload)
+        assert "p95 vs SLO" in rendered
+        assert "autoscale[" not in rendered
+
+    def test_verify_replay_flags_partial_coverage(
+        self, quantized_mlp_factory, tmp_path
+    ):
+        """Regression: batches carrying non-replay traffic are skipped,
+        so the verified count silently falls short of the request count.
+        ``expected`` turns that shortfall into a failure."""
+        from repro.serve import ReplayRun
+
+        model, manifest = quantized_mlp_factory()
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        inputs = np.random.default_rng(11).standard_normal((3, 3, 8, 8))
+        config = ServeConfig(
+            batch_window_s=0.01,
+            max_batch_size=8,
+            record_batches=True,
+            autostart=False,
+        )
+        with ServingSession(path, cache=ArtifactCache(), config=config) as session:
+            # A warmup request the replay run knows nothing about,
+            # queued while the engine is stopped so it deterministically
+            # coalesces into the same executed batch as the replay rows.
+            warmup = session.submit(inputs[0])
+            pendings = [session.submit(x) for x in inputs]
+            session.start()
+            outputs = np.stack([p.result(timeout=10) for p in pendings])
+            warmup.result(timeout=10)
+            run = ReplayRun(
+                payload={},
+                outputs=outputs,
+                request_ids=[p.request_id for p in pendings],
+                engine_indices=[p.engine_index for p in pendings],
+            )
+            # Unstrict: the contaminated batch is skipped, nothing at
+            # all got verified — and nothing complained.
+            assert verify_replay(session, inputs, run) < len(inputs)
+            with pytest.raises(AssertionError, match="partial coverage"):
+                verify_replay(session, inputs, run, expected=len(inputs))

@@ -1,4 +1,5 @@
-"""Tests for repro.serve.pool: round-robin fan-out, lifecycle, stats."""
+"""Tests for repro.serve.pool: round-robin fan-out, lifecycle, stats,
+autoscaling and the chaos-kill recovery path."""
 
 import time
 
@@ -7,7 +8,18 @@ import pytest
 
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.serve import ServingEnginePool, ShutdownTimeout
+from repro.serve import (
+    ArtifactCache,
+    AutoscaleDecider,
+    AutoscalePolicy,
+    AutoscalingEnginePool,
+    EngineDied,
+    ReplayRun,
+    ServingEnginePool,
+    ShutdownTimeout,
+    compile_artifact,
+    verify_replay,
+)
 
 
 def make_toy_model(scale: float = 1.0) -> Module:
@@ -96,3 +108,330 @@ class TestPoolLifecycle:
         pool = ServingEnginePool([make_toy_model()])
         pool.close()
         pool.close()
+
+    def test_close_sweeps_past_a_failing_engine(self):
+        """Regression: one engine's close() raising a non-timeout error
+        must not abort the sweep — the later engines still close (no
+        leaked worker threads) and the failure is re-raised after."""
+        models = [make_toy_model() for _ in range(3)]
+        pool = ServingEnginePool(models, batch_window_s=0.0)
+        engines = pool.engines
+        victim = engines[1]
+        real_close = victim.close
+
+        def exploding_close(drain=True, timeout=None):
+            raise RuntimeError("boom")
+
+        victim.close = exploding_close
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.close(drain=True, timeout=10)
+        # The engines after the failing one were still shut down.
+        assert not engines[0]._thread.is_alive()
+        assert not engines[2]._thread.is_alive()
+        victim.close = real_close
+        pool.close(drain=True, timeout=10)
+        assert not victim._thread.is_alive()
+
+    def test_drain_expired_deadline_names_unreached_engines(self):
+        """Regression: an already-expired pool deadline used to turn
+        into zero-second engine waits, misattributing the timeout to
+        whichever engine was visited next. It now raises immediately,
+        naming the engines that were never waited on."""
+        pool = ServingEnginePool(
+            [SlowModel(0.2), SlowModel(0.2)], batch_window_s=0.0
+        )
+        pendings = [pool.submit(np.ones(3)) for _ in range(2)]
+        with pytest.raises(TimeoutError, match=r"engines \[0, 1\]"):
+            pool.drain(timeout=0.0)
+        for pending in pendings:
+            pending.result(timeout=10)
+        pool.close(drain=True, timeout=10)
+
+    def test_close_expired_deadline_names_unreached_engines(self):
+        pool = ServingEnginePool(
+            [SlowModel(0.2), SlowModel(0.2)], batch_window_s=0.0
+        )
+        pendings = [pool.submit(np.ones(3)) for _ in range(2)]
+        with pytest.raises(ShutdownTimeout, match=r"never reached"):
+            pool.close(drain=True, timeout=0.0)
+        for pending in pendings:
+            pending.result(timeout=10)
+        pool.close(drain=True, timeout=10)
+
+
+class TestAutoscaleDecider:
+    def make(self, **overrides):
+        policy = dict(
+            min_engines=1,
+            max_engines=4,
+            scale_up_depth=8.0,
+            scale_down_depth=1.0,
+            cooldown_s=1.0,
+            interval_s=0.01,
+        )
+        policy.update(overrides)
+        return AutoscaleDecider(AutoscalePolicy(**policy))
+
+    def test_scales_up_above_threshold(self):
+        assert self.make().observe(8.0, engines=1, now_s=0.0) == "up"
+
+    def test_scales_down_below_threshold(self):
+        assert self.make().observe(0.5, engines=2, now_s=0.0) == "down"
+
+    def test_band_between_thresholds_is_inert(self):
+        decider = self.make()
+        for depth in (2.0, 5.0, 7.9):
+            assert decider.observe(depth, engines=2, now_s=0.0) is None
+
+    def test_respects_bounds(self):
+        assert self.make().observe(50.0, engines=4, now_s=0.0) is None
+        assert self.make().observe(0.0, engines=1, now_s=0.0) is None
+
+    def test_cooldown_blocks_consecutive_events(self):
+        decider = self.make(cooldown_s=1.0)
+        assert decider.observe(10.0, engines=1, now_s=0.0) == "up"
+        assert decider.observe(10.0, engines=2, now_s=0.5) is None
+        assert decider.observe(10.0, engines=2, now_s=1.1) == "up"
+
+    def test_no_flapping_under_oscillating_depth(self):
+        """A queue oscillating inside the hysteresis band must produce
+        zero scale events no matter how fast it swings."""
+        decider = self.make()
+        depths = [1.5, 7.5] * 50  # just inside both thresholds
+        actions = [
+            decider.observe(depth, engines=2, now_s=0.01 * step)
+            for step, depth in enumerate(depths)
+        ]
+        assert actions == [None] * len(depths)
+
+    def test_oscillation_across_thresholds_is_rate_limited_by_cooldown(self):
+        """Even swinging *across* both thresholds, the cooldown caps the
+        event rate — 100 violent samples in one cooldown window may
+        produce at most one event after the first."""
+        decider = self.make(cooldown_s=1.0)
+        depths = [0.0, 20.0] * 50
+        actions = [
+            decider.observe(depth, engines=2, now_s=0.005 * step)
+            for step, depth in enumerate(depths)
+        ]
+        events = [action for action in actions if action is not None]
+        assert len(events) == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            AutoscalePolicy(scale_up_depth=2.0, scale_down_depth=2.0)
+        with pytest.raises(ValueError, match="min_engines"):
+            AutoscalePolicy(min_engines=0)
+        with pytest.raises(ValueError, match="max_engines"):
+            AutoscalePolicy(min_engines=3, max_engines=2)
+
+
+@pytest.fixture
+def mlp_artifact(quantized_mlp_factory):
+    model, manifest = quantized_mlp_factory()
+    return compile_artifact(model, manifest)
+
+
+#: A policy whose supervisor is effectively inert (60 s interval), so
+#: tests drive _consider_scaling()/_sweep_deaths() by hand and the
+#: scaling sequence is fully deterministic.
+MANUAL = dict(cooldown_s=0.0, interval_s=60.0)
+
+
+class TestAutoscalingPool:
+    def test_scales_up_under_queue_depth_and_back_down(self, mlp_artifact):
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(
+            min_engines=1, max_engines=3, scale_up_depth=4.0,
+            scale_down_depth=1.0, **MANUAL
+        )
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy,
+            batch_window_s=0.0, autostart=False,
+        )
+        assert cache.active_leases() == 1
+        pendings = [pool.submit(np.zeros((3, 8, 8))) for _ in range(12)]
+        pool._consider_scaling()  # depth 12 >= 4
+        assert len(pool) == 2 and cache.active_leases() == 2
+        pool._consider_scaling()  # depth 6 >= 4
+        assert len(pool) == 3 and cache.active_leases() == 3
+        pool._consider_scaling()  # at max_engines: no change
+        assert len(pool) == 3
+        pool.start()
+        pool.drain(timeout=10)
+        assert all(pending.done() for pending in pendings)
+        pool._consider_scaling()  # depth 0 <= 1
+        pool._consider_scaling()
+        assert len(pool) == 1  # back at min_engines
+        assert cache.active_leases() == 1  # retired engines released
+        pool._consider_scaling()  # at min_engines: no change
+        assert len(pool) == 1
+        actions = [event.action for event in pool.scale_events()]
+        assert actions == ["up", "up", "down", "down"]
+        stats = pool.stats
+        assert stats.scale_ups == 2 and stats.scale_downs == 2
+        assert stats.completed == 12  # retired engines' traffic still counts
+        assert pool.peak_engines == 3
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+        assert cache.stats.leases == cache.stats.releases == 3
+
+    def test_retired_engines_drain_before_release(self, mlp_artifact):
+        """A scale-down must never drop accepted work: the retired
+        engine answers its queue before its lease is returned."""
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(
+            min_engines=1, max_engines=2, scale_up_depth=2.0,
+            scale_down_depth=1.0, **MANUAL
+        )
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy,
+            batch_window_s=0.0, autostart=False,
+        )
+        first = [pool.submit(np.zeros((3, 8, 8))) for _ in range(4)]
+        pool._consider_scaling()  # up to 2 engines
+        # Load the *newest* engine (the scale-down victim) directly.
+        victim_engine = pool.engines[-1]
+        queued = [victim_engine.submit(np.zeros((3, 8, 8))) for _ in range(3)]
+        pool.start()
+        for pending in first:
+            pending.result(timeout=10)
+        pool._consider_scaling()  # down: retires the newest engine
+        assert len(pool) == 1
+        assert all(pending.done() for pending in queued)  # drained, not dropped
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+
+    def test_supervisor_scales_in_real_time(self, mlp_artifact):
+        """End-to-end: the supervisor thread itself observes depth and
+        scales up, with no manual driving."""
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(
+            min_engines=1, max_engines=2, scale_up_depth=3.0,
+            scale_down_depth=0.5, cooldown_s=0.0, interval_s=0.005,
+        )
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy,
+            batch_window_s=0.0, autostart=False,
+        )
+        # Queue work while the engines are stopped, then start only the
+        # supervisor: depth stays high (nothing drains it) until the
+        # supervisor observes it and scales up on its own.
+        pendings = [pool.submit(np.zeros((3, 8, 8))) for _ in range(16)]
+        pool._start_supervisor()
+        deadline = time.monotonic() + 10
+        while pool.stats.scale_ups == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert pool.stats.scale_ups >= 1
+        pool.start()
+        for pending in pendings:
+            pending.result(timeout=10)
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+        assert cache.stats.leases == cache.stats.releases
+
+
+class TestChaosKill:
+    def wait_for_death(self, engine, timeout_s: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while not engine.worker_died:
+            if time.monotonic() > deadline:
+                raise AssertionError("killed worker did not die in time")
+            time.sleep(0.005)
+
+    def test_killed_engine_is_replaced_and_requests_redispatched(
+        self, mlp_artifact
+    ):
+        """The full resilience story: kill → death detected → lease
+        released → replacement leased → orphans re-dispatched → every
+        request completes bit-exact. Lease accounting balances."""
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(min_engines=1, max_engines=2, **MANUAL)
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy,
+            batch_window_s=0.0, record_batches=True,
+        )
+        killed = pool.chaos_kill()
+        assert killed == 0
+        self.wait_for_death(pool.engines[0])
+        # The dead engine is still in the rotation (the supervisor is
+        # inert): these requests land on its queue and become orphans.
+        inputs = np.random.default_rng(0).standard_normal((6, 3, 8, 8))
+        pendings = [pool.submit(x) for x in inputs]
+        pool._sweep_deaths()
+        outputs = [pending.result(timeout=10) for pending in pendings]
+        # Identity read after completion: the replacement answered.
+        assert {pending.engine_index for pending in pendings} == {1}
+        stats = pool.stats
+        assert stats.engine_deaths == 1 and stats.redispatched == 6
+        actions = [event.action for event in pool.scale_events()]
+        assert actions == ["death", "replace"]
+        fates = {
+            record[0]: fate["fate"]
+            for record, fate in zip(
+                pool.engine_records(), pool.engine_lifetimes_s()
+            )
+        }
+        assert fates[0] == "died"
+        # Lease accounting: the dead engine's lease was released, the
+        # replacement's is active.
+        assert cache.stats.leases == 2
+        assert cache.active_leases() == 1
+        # Bit-exact parity of the rescued requests, via the recorded
+        # batches of every engine the pool ever ran.
+        class _PoolSession:  # verify_replay's minimal session surface
+            input_dtype = pool.input_dtype
+            engine_records = staticmethod(pool.engine_records)
+
+        run = ReplayRun(
+            payload={},
+            outputs=np.stack(outputs),
+            request_ids=[pending.request_id for pending in pendings],
+            engine_indices=[pending.engine_index for pending in pendings],
+        )
+        assert verify_replay(_PoolSession(), inputs, run, expected=6) == 6
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+        assert cache.stats.leases == cache.stats.releases == 2
+
+    def test_orphans_fail_loudly_when_no_replacement_possible(
+        self, mlp_artifact
+    ):
+        """If re-lease fails and no other engine is live, every orphan
+        is answered with EngineDied — never silently dropped."""
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(min_engines=1, max_engines=2, **MANUAL)
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy, batch_window_s=0.0
+        )
+        pool.chaos_kill()
+        self.wait_for_death(pool.engines[0])
+        pendings = [pool.submit(np.zeros((3, 8, 8))) for _ in range(3)]
+
+        def refusing_lease(source):
+            raise RuntimeError("cache shut down")
+
+        pool._cache = type("C", (), {"lease": staticmethod(refusing_lease)})()
+        with pytest.raises(RuntimeError, match="cache shut down"):
+            pool._sweep_deaths()
+        for pending in pendings:
+            with pytest.raises(EngineDied, match="could not be re-dispatched"):
+                pending.result(timeout=10)
+        pool._cache = cache
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+
+    def test_drain_on_dead_engine_raises(self, mlp_artifact):
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(min_engines=1, max_engines=2, **MANUAL)
+        pool = AutoscalingEnginePool(
+            mlp_artifact, cache, policy=policy, batch_window_s=0.0
+        )
+        pool.chaos_kill()
+        self.wait_for_death(pool.engines[0])
+        pool.submit(np.zeros((3, 8, 8)))  # stranded until the sweep
+        with pytest.raises(EngineDied, match="never drain"):
+            pool.drain(timeout=5)
+        pool._sweep_deaths()
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
