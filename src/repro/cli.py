@@ -214,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="kill one engine's worker mid-trace to exercise lease release, "
         "re-lease and request re-dispatch (needs --autoscale)",
     )
+    serve.add_argument(
+        "--backend",
+        choices=("float", "integer"),
+        default="float",
+        help="execution backend: 'float' serves the reconstructed "
+        "weights, 'integer' executes the packed CQW1 codes with "
+        "integer MACs (parity checked against the derived rescale "
+        "bound)",
+    )
 
     predict = sub.add_parser(
         "predict", help="one-shot inference on a saved batch from an artifact"
@@ -229,6 +238,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write logits + labels to this .npz"
     )
     predict.add_argument("--max-batch", type=int, default=32, help="batch-size cap")
+    predict.add_argument(
+        "--backend",
+        choices=("float", "integer"),
+        default="float",
+        help="execution backend (see `repro serve --backend`)",
+    )
 
     sub.add_parser("models", help="list registered model architectures")
     sub.add_parser("datasets", help="list dataset presets")
@@ -473,6 +488,7 @@ def _run_serve(args) -> int:
                 record_batches=not args.no_verify,
                 engines=1 if policy is not None else args.engines,
                 autoscale=policy,
+                backend=args.backend,
             ),
             cache=cache,
         )
@@ -493,6 +509,8 @@ def _run_serve(args) -> int:
                     else f"; {args.engines} engine(s)"
                 )
             )
+            if args.backend != "float":
+                load_note += f"; {args.backend} backend"
             print(
                 f"serving {manifest.model} ({manifest.dataset}/{manifest.scale}, "
                 f"{artifact.size_breakdown()}, key {artifact.content_key}); "
@@ -560,13 +578,15 @@ def _run_predict(args) -> int:
         return 2
     artifact = DEFAULT_CACHE.load(args.artifact)
     with ServingSession(
-        artifact, config=ServeConfig(max_batch_size=args.max_batch)
+        artifact,
+        config=ServeConfig(max_batch_size=args.max_batch, backend=args.backend),
     ) as session:
         logits = session.predict_batch(images)
     labels = logits.argmax(axis=1)
     for index, label in enumerate(labels):
         print(f"sample {index}: class {int(label)} (logit {logits[index, label]:+.4f})")
-    print(f"predicted {len(labels)} samples from {args.artifact}")
+    backend_note = f" ({args.backend} backend)" if args.backend != "float" else ""
+    print(f"predicted {len(labels)} samples from {args.artifact}{backend_note}")
     if args.output:
         np.savez(args.output, logits=logits, labels=labels)
         print(f"wrote logits/labels to {args.output}")

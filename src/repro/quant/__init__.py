@@ -19,8 +19,13 @@ from repro.quant.ste import ste_quantize_weights, ste_quantize_activations
 from repro.quant.qmodules import QConv2d, QLinear, quantize_model, quantized_layers
 from repro.quant.export import QuantizedExport, export_quantized_weights, verify_export
 from repro.quant.integer import (
+    IntegerEquivalenceError,
+    IntegerLayerSpec,
     IntegerModel,
+    compile_integer_layer,
+    compile_integer_layer_from_export,
     compile_integer_model,
+    diagnose_integer_equivalence,
     integer_mode,
     verify_integer_equivalence,
 )
@@ -42,6 +47,8 @@ from repro.quant.metrics import (
 __all__ = [
     "BitWidthMap",
     "HistogramObserver",
+    "IntegerEquivalenceError",
+    "IntegerLayerSpec",
     "IntegerModel",
     "MinMaxObserver",
     "QConv2d",
@@ -50,8 +57,11 @@ __all__ = [
     "UniformQuantizer",
     "average_bit_width",
     "average_weight_bits",
+    "compile_integer_layer",
+    "compile_integer_layer_from_export",
     "compile_integer_model",
     "deserialize_export",
+    "diagnose_integer_equivalence",
     "export_quantized_weights",
     "integer_mode",
     "pack_bits",

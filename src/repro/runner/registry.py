@@ -189,6 +189,7 @@ def serve_replay_units(
     autoscale: bool = False,
     max_engines: int = 4,
     chaos: bool = False,
+    backend: str = "float",
 ) -> List[UnitSpec]:
     """One serving-benchmark unit per ``(bits, seed)`` grid point.
 
@@ -204,6 +205,9 @@ def serve_replay_units(
     engine mid-trace to archive the recovery path. The trace is seeded
     from each unit's ``seed``, so a unit always offers the identical
     load and stays honest under the content-key result cache.
+    ``backend="integer"`` serves the packed codes with integer MACs
+    (``-int`` name suffix) and adds the rescale-bound parity check to
+    every replayed request.
     """
     units = []
     for bit in bits:
@@ -215,6 +219,8 @@ def serve_replay_units(
                 suffix += f"-auto{int(max_engines)}"
             if chaos:
                 suffix += "-chaos"
+            if backend != "float":
+                suffix += "-int" if backend == "integer" else f"-{backend}"
             units.append(
                 UnitSpec(
                     name=f"serve-replay-{model}-{dataset}-{scale}{suffix}",
@@ -235,6 +241,7 @@ def serve_replay_units(
                         "autoscale": bool(autoscale),
                         "max_engines": int(max_engines),
                         "chaos": bool(chaos),
+                        "backend": str(backend),
                     },
                     render="repro.serve.replay:render",
                 )

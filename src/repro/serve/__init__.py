@@ -17,7 +17,10 @@ number of leased engines serving one artifact.
 depth); :mod:`~repro.serve.replay` generates request-replay load —
 closed-loop clients or seeded open-loop
 :class:`~repro.serve.trace.TrafficTrace` arrivals — and the sweepable
-``serve-replay`` benchmark unit.
+``serve-replay`` benchmark unit. ``ServeConfig(backend="integer")``
+swaps the reconstructed-float forwards for direct integer-MAC
+execution of the packed codes (:mod:`~repro.serve.integer`), parity
+checked against the float engine within a derived rescale bound.
 
 Design doc: ``docs/architecture.md`` (Serving section).
 """
@@ -49,6 +52,14 @@ from repro.serve.engine import (
     ServeStats,
     ShutdownTimeout,
     combine_serve_stats,
+)
+from repro.serve.integer import (
+    INTEGER_PARITY_SAFETY,
+    IntegerBackendParityError,
+    IntegerServingModel,
+    compile_integer_serving,
+    integer_parity_rtol,
+    verify_integer_parity,
 )
 from repro.serve.pool import (
     AutoscaleDecider,
@@ -85,7 +96,10 @@ __all__ = [
     "DEFAULT_SIDECAR_DTYPE",
     "EngineClosed",
     "EngineDied",
+    "INTEGER_PARITY_SAFETY",
     "InferenceEngine",
+    "IntegerBackendParityError",
+    "IntegerServingModel",
     "ModelLease",
     "PendingPrediction",
     "ReplayRun",
@@ -106,8 +120,10 @@ __all__ = [
     "build_serving_model",
     "combine_serve_stats",
     "compile_artifact",
+    "compile_integer_serving",
     "cycle_inputs",
     "generate_trace",
+    "integer_parity_rtol",
     "load_artifact",
     "load_artifact_bytes",
     "render_replay",
@@ -116,5 +132,6 @@ __all__ = [
     "replay_trace",
     "save_artifact",
     "serialize_artifact",
+    "verify_integer_parity",
     "verify_replay",
 ]

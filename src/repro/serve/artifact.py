@@ -288,6 +288,7 @@ class ServingArtifact:
     """Storage dtype the sidecar tensors were framed in."""
 
     _model: Optional[Module] = field(default=None, repr=False)
+    _integer_model: Optional[object] = field(default=None, repr=False)
     _model_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -313,6 +314,45 @@ class ServingArtifact:
         copy-on-lease primitive behind :meth:`ArtifactCache.lease`.
         """
         return clone_module(self.model())
+
+    def integer_model(self):
+        """The compiled integer-backend prototype (built once, lazily).
+
+        An :class:`~repro.serve.integer.IntegerServingModel` whose layer
+        specs execute the packed CQW1 codes directly — no float weight
+        reconstruction. Built on the first integer lease (float-only
+        deployments never pay for it); the same prototype/clone contract
+        as :meth:`model` applies.
+        """
+        with self._model_lock:
+            if self._integer_model is None:
+                from repro.serve.integer import compile_integer_serving
+
+                self._integer_model = compile_integer_serving(self)
+            return self._integer_model
+
+    def clone_integer_model(self):
+        """A private clone of the integer prototype (copy-on-lease).
+
+        The immutable code arrays stay shared across clones; per-spec
+        accumulator statistics are private to each clone."""
+        return self.integer_model().clone()
+
+    def model_for(self, backend: str):
+        """The prototype for ``backend`` (``"float"`` or ``"integer"``)."""
+        if backend == "float":
+            return self.model()
+        if backend == "integer":
+            return self.integer_model()
+        raise ValueError(f"unknown serving backend {backend!r}")
+
+    def clone_model_for(self, backend: str):
+        """A private prototype clone for ``backend`` (copy-on-lease)."""
+        if backend == "float":
+            return self.clone_model()
+        if backend == "integer":
+            return self.clone_integer_model()
+        raise ValueError(f"unknown serving backend {backend!r}")
 
     def size_breakdown(self) -> str:
         """One-line payload-vs-sidecar byte accounting."""
@@ -399,7 +439,9 @@ def load_artifact(path: PathLike) -> ServingArtifact:
     return load_artifact_bytes(Path(path).read_bytes())
 
 
-def build_serving_model(artifact: ServingArtifact) -> Module:
+def build_serving_model(
+    artifact: ServingArtifact, reconstruct_weights: bool = True
+) -> Module:
     """Reconstruct the mixed-precision model behind an artifact.
 
     The returned model is in ``eval()`` mode with weight
@@ -408,6 +450,14 @@ def build_serving_model(artifact: ServingArtifact) -> Module:
     fake-quantized forward (see the module docstring's parity contract).
     Activation quantization stays active, driven by the calibrated
     ranges from the sidecar.
+
+    With ``reconstruct_weights=False`` the quantized layers get zero
+    placeholder weights instead of dequantized codes: the *shell* the
+    integer backend shadows with :func:`~repro.quant.integer.integer_forward`
+    closures — the packed codes never round-trip through float weight
+    reconstruction there, and an accidental use of the shell's weights
+    produces loudly wrong (all-zero-weight) outputs rather than subtly
+    stale ones.
     """
     manifest = artifact.manifest
     from repro.experiments.presets import build_preset_model
@@ -433,7 +483,11 @@ def build_serving_model(artifact: ServingArtifact) -> Module:
                 f"layer {name!r}: artifact shape {layer_export.weight_shape} vs "
                 f"model shape {tuple(layers[name].weight.shape)}"
             )
-        state[f"{name}.weight"] = layer_export.reconstruct()
+        state[f"{name}.weight"] = (
+            layer_export.reconstruct()
+            if reconstruct_weights
+            else np.zeros(tuple(layer_export.weight_shape))
+        )
     model.load_state_dict(state, strict=True)
     for layer in layers.values():
         layer.weight_quant_enabled = False  # weights already hold the codes' values
@@ -552,11 +606,20 @@ class ModelLease:
     the cache; idempotent, and usable as a context manager.
     """
 
-    __slots__ = ("artifact", "model", "_cache", "_released")
+    __slots__ = ("artifact", "model", "backend", "_cache", "_released")
 
-    def __init__(self, cache: "ArtifactCache", artifact: ServingArtifact, model: Module):
+    def __init__(
+        self,
+        cache: "ArtifactCache",
+        artifact: ServingArtifact,
+        model: Module,
+        backend: str = "float",
+    ):
         self.artifact = artifact
         self.model = model
+        self.backend = backend
+        """Which execution backend the leased model runs (``"float"``
+        reconstructed-weight forwards or ``"integer"`` packed-code MACs)."""
         self._cache = cache
         self._released = False
 
@@ -636,7 +699,9 @@ class ArtifactCache:
         return artifact
 
     def lease(
-        self, source: Union[PathLike, bytes, "ServingArtifact"]
+        self,
+        source: Union[PathLike, bytes, "ServingArtifact"],
+        backend: str = "float",
     ) -> ModelLease:
         """Claim a private model clone of ``source`` through the cache.
 
@@ -644,10 +709,19 @@ class ArtifactCache:
         already-parsed :class:`ServingArtifact` (adopted into the cache
         by content key). The first lease of an uncached artifact pays
         the parse+build once; every further lease is a cache hit plus a
-        cheap parameter-array clone. Release with
-        :meth:`ModelLease.release` (or use the lease as a context
-        manager) so eviction can reclaim the entry.
+        cheap parameter-array clone. ``backend`` picks what the lease's
+        model executes: ``"float"`` clones the reconstructed-weight
+        prototype, ``"integer"`` clones the compiled integer model
+        (built lazily on the first integer lease of an entry; float and
+        integer prototypes share the cache entry and its refcount).
+        Release with :meth:`ModelLease.release` (or use the lease as a
+        context manager) so eviction can reclaim the entry.
         """
+        if backend not in ("float", "integer"):
+            raise ValueError(
+                f"unknown serving backend {backend!r}; "
+                "expected 'float' or 'integer'"
+            )
         if isinstance(source, ServingArtifact):
             artifact = self._adopt(source)
         elif isinstance(source, (bytes, bytearray, memoryview)):
@@ -664,11 +738,11 @@ class ArtifactCache:
             self._refcounts[key] = self._refcounts.get(key, 0) + 1
             self.stats.leases += 1
         try:
-            model = artifact.clone_model()
+            model = artifact.clone_model_for(backend)
         except BaseException:
             self._release(key)
             raise
-        return ModelLease(self, artifact, model)
+        return ModelLease(self, artifact, model, backend=backend)
 
     def active_leases(self) -> int:
         """Total outstanding (unreleased) leases across all entries."""

@@ -149,6 +149,16 @@ class ServeStats:
     sidecar_nbytes: int = 0
     """CQS1/CQS2 sidecar bytes of the served artifact."""
 
+    backend: str = "float"
+    """Execution backend of the served model (``"float"`` reconstructed
+    weights, ``"integer"`` packed-code MACs; ``"mixed"`` after merging
+    heterogeneous engines)."""
+
+    acc_bits_used: int = 0
+    """Widest signed integer accumulator any batch needed (integer
+    backend with quantized activations; 0 on the float backend and on
+    weight-only integer execution, whose accumulations are float)."""
+
     @property
     def served(self) -> int:
         """Requests that went through a forward (completed + errors)."""
@@ -189,6 +199,10 @@ class ServeStats:
             f"max {self.max_latency_s * 1e3:.2f} ms",
             f"forward wall: {self.total_forward_s:.3f} s",
         ]
+        if self.backend != "float":
+            lines.append(
+                f"backend: {self.backend} (acc_bits used: {self.acc_bits_used})"
+            )
         if self.scale_ups or self.scale_downs or self.engine_deaths:
             lines.append(
                 f"autoscale: {self.scale_ups} up, {self.scale_downs} down, "
@@ -237,7 +251,13 @@ def combine_serve_stats(snapshots) -> "ServeStats":
         merged.artifact_nbytes = max(merged.artifact_nbytes, stats.artifact_nbytes)
         merged.payload_nbytes = max(merged.payload_nbytes, stats.payload_nbytes)
         merged.sidecar_nbytes = max(merged.sidecar_nbytes, stats.sidecar_nbytes)
+        merged.acc_bits_used = max(merged.acc_bits_used, stats.acc_bits_used)
         merged.latencies_s.extend(list(stats.latencies_s)[-window_share:])
+    backends = {stats.backend for stats in snapshots}
+    if len(backends) == 1:
+        merged.backend = backends.pop()
+    elif backends:
+        merged.backend = "mixed"
     return merged
 
 
@@ -340,11 +360,15 @@ class InferenceEngine:
         self._model = model
         model.eval()
         self.input_dtype = _model_input_dtype(model)
+        # Integer-backend models expose max_acc_bits(); the worker folds
+        # it into the stats after every batch.
+        self._acc_probe = getattr(model, "max_acc_bits", None)
+        self._stats_backend = getattr(model, "serving_backend", "float")
         self.batch_window_s = float(batch_window_s)
         self.max_batch_size = int(max_batch_size)
         self._cond = threading.Condition()
         self._queue: Deque[_QueuedRequest] = deque()
-        self._stats = ServeStats()
+        self._stats = ServeStats(backend=self._stats_backend)
         self._record = record_batches
         self._batches: List[Tuple[int, ...]] = []
         self._next_id = 0
@@ -705,6 +729,10 @@ class InferenceEngine:
                 )
         with self._cond:
             self._current_batch = []
+            if self._acc_probe is not None:
+                self._stats.acc_bits_used = max(
+                    self._stats.acc_bits_used, int(self._acc_probe())
+                )
             self._stats.forwards += 1
             self._stats.total_forward_s += finished - started
             self._stats.max_batch_seen = max(self._stats.max_batch_seen, len(batch))

@@ -467,10 +467,15 @@ class AutoscalingEnginePool(ServingEnginePool):
         max_batch_size: int = 16,
         record_batches: bool = False,
         autostart: bool = True,
+        backend: str = "float",
     ):
         policy = policy if policy is not None else AutoscalePolicy()
         self._artifact = artifact
         self._cache = cache
+        self._backend = backend
+        """Execution backend every lease of this pool uses — initial
+        engines, scale-ups and death replacements alike, so a recovered
+        pool keeps serving the backend it was asked for."""
         self.policy = policy
         self._decider = AutoscaleDecider(policy)
         self._events: List[ScaleEvent] = []
@@ -483,7 +488,7 @@ class AutoscalingEnginePool(ServingEnginePool):
         leases = []
         try:
             for _ in range(policy.min_engines):
-                leases.append(cache.lease(artifact))
+                leases.append(cache.lease(artifact, backend=backend))
             super().__init__(
                 [lease.model for lease in leases],
                 batch_window_s=batch_window_s,
@@ -555,7 +560,7 @@ class AutoscalingEnginePool(ServingEnginePool):
         replace_error: Optional[BaseException] = None
         if replace and not self._pool_closing:
             try:
-                lease = self._cache.lease(self._artifact)
+                lease = self._cache.lease(self._artifact, backend=self._backend)
                 new_slot = self._add_engine_locked(lease.model, lease)
             except Exception as exc:
                 # A failed replacement must not strand the orphans —
@@ -639,7 +644,7 @@ class AutoscalingEnginePool(ServingEnginePool):
         now = time.monotonic()
         action = self._decider.observe(depth, len(live), now)
         if action == "up":
-            lease = self._cache.lease(self._artifact)
+            lease = self._cache.lease(self._artifact, backend=self._backend)
             slot = self._add_engine_locked(lease.model, lease)
             with self._lock:
                 engines_now = len(self._live)

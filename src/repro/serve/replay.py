@@ -183,7 +183,15 @@ def verify_replay(
     are skipped — pass ``expected`` (your request count) to make
     partial coverage itself an ``AssertionError`` instead of a silently
     smaller return value.
+
+    Integer-backend engines (``ServeConfig(backend="integer")``) get a
+    second check on top of bit-exact self-parity: every verified batch
+    is also run through the artifact's *float* prototype and the served
+    answers must agree within the derived rescale bound
+    (:func:`~repro.serve.integer.verify_integer_parity` — failure names
+    the offending layer and max abs error).
     """
+    from repro.serve.integer import IntegerServingModel, verify_integer_parity
     from repro.tensor.tensor import Tensor, no_grad
 
     inputs = np.asarray(inputs, dtype=session.input_dtype)  # what the engines served
@@ -200,8 +208,17 @@ def verify_replay(
                 "pending.engine_index alongside pending.request_id"
             )
         engine_indices = [0] * len(run.request_ids)
+    float_reference = None
     verified = 0
     for engine_index, engine, model in records:
+        integer_backend = isinstance(model, IntegerServingModel)
+        if integer_backend and float_reference is None:
+            if session.artifact is None:
+                raise ValueError(
+                    "cannot bound-check an integer engine without the "
+                    "session's artifact (the float reference)"
+                )
+            float_reference = session.artifact.model()
         index_of = {
             rid: row
             for row, (eng, rid) in enumerate(zip(engine_indices, run.request_ids))
@@ -211,8 +228,9 @@ def verify_replay(
             rows = [index_of[rid] for rid in batch if rid in index_of]
             if len(rows) != len(batch):
                 continue  # batch contains non-replay traffic (e.g. warmup)
+            batch_inputs = np.stack([inputs[row] for row in rows])
             with no_grad():
-                reference = model(Tensor(np.stack([inputs[row] for row in rows]))).data
+                reference = model(Tensor(batch_inputs)).data
             for position, row in enumerate(rows):
                 if not np.array_equal(run.outputs[row], reference[position]):
                     raise AssertionError(
@@ -221,6 +239,10 @@ def verify_replay(
                         f"forward on its executed batch"
                     )
                 verified += 1
+            if integer_backend:
+                # Raises IntegerBackendParityError (an AssertionError)
+                # naming the offending layer if the bound breaks.
+                verify_integer_parity(model, float_reference, batch_inputs)
     if expected is not None and verified != expected:
         raise AssertionError(
             f"replay parity verified only {verified}/{expected} requests — "
@@ -526,6 +548,7 @@ def run_point(
     max_engines: int = 4,
     chaos: bool = False,
     compare_sequential: bool = True,
+    backend: str = "float",
 ) -> Dict[str, object]:
     """One serving-benchmark grid point (a runner-unit target).
 
@@ -542,7 +565,10 @@ def run_point(
     a verified-request shortfall raises rather than shrinking a number
     nobody reads. ``chaos`` kills one engine a third of the way into
     the trace and requires ``autoscale`` (the supervisor is the
-    recovery path).
+    recovery path). ``backend`` selects the execution path
+    (``"float"`` or ``"integer"``) for every replay — including the
+    sequential baseline — and integer replays additionally pass the
+    rescale-bound check of :func:`verify_replay`.
     """
     from repro.experiments.presets import get_dataset
 
@@ -582,6 +608,7 @@ def run_point(
                 record_batches=True,
                 engines=1 if policy is not None else engines,
                 autoscale=policy,
+                backend=backend,
             ),
         )
         try:
@@ -617,6 +644,7 @@ def run_point(
         "scale": scale,
         "seed": int(seed),
         "bits": int(bits),
+        "backend": backend,
         "pool_size": int(pool_size),
         "trace_kind": trace,
         "rate_rps": float(rate_rps),
@@ -646,6 +674,8 @@ def render(payload: Dict[str, object]) -> str:
             f", autoscale {payload['pool_size']}..{payload['max_engines']}"
             + (", chaos" if payload.get("chaos") else "")
         )
+    if payload.get("backend", "float") != "float":
+        pool_note += f", {payload['backend']} backend"
     lines = [
         f"serve replay — {payload['model']} on {payload['dataset']} "
         f"({payload['scale']}, uniform {payload['bits']} bits, "

@@ -60,6 +60,13 @@ class ServeConfig:
     observed queue depth. Autoscaled sessions need an artifact (or
     path) source — engines are leased clones — and leave ``engines``
     at 1 (the bounds live on the policy).
+
+    ``backend`` picks the execution path: ``"float"`` (default) serves
+    the reconstructed-weight model; ``"integer"`` serves the packed
+    CQW1 codes with integer MACs
+    (:mod:`repro.serve.integer` — requires an artifact source, and
+    answers agree with the float backend within the derived rescale
+    bound checked by :func:`~repro.serve.replay.verify_replay`).
     """
 
     batch_window_s: float = 0.002
@@ -68,6 +75,7 @@ class ServeConfig:
     autostart: bool = True
     engines: int = 1
     autoscale: Optional[AutoscalePolicy] = None
+    backend: str = "float"
 
 
 class ServingSession:
@@ -89,6 +97,11 @@ class ServingSession:
         config = config if config is not None else ServeConfig()
         if config.engines < 1:
             raise ValueError(f"engines must be >= 1, got {config.engines}")
+        if config.backend not in ("float", "integer"):
+            raise ValueError(
+                f"unknown serving backend {config.backend!r}; "
+                "expected 'float' or 'integer'"
+            )
         self.config = config
         self._leases: List[ModelLease] = []
         # Any failure between taking the first lease and standing the
@@ -127,31 +140,44 @@ class ServingSession:
                     max_batch_size=config.max_batch_size,
                     record_batches=config.record_batches,
                     autostart=config.autostart,
+                    backend=config.backend,
                 )
             elif isinstance(source, (str, Path)):
                 cache = cache if cache is not None else DEFAULT_CACHE
                 # Read + hash the file once; further engines lease the
                 # already-parsed artifact (an adopt hit, no I/O).
-                self._leases.append(cache.lease(source))
+                self._leases.append(cache.lease(source, backend=config.backend))
                 self.artifact: Optional[ServingArtifact] = self._leases[0].artifact
                 for _ in range(config.engines - 1):
-                    self._leases.append(cache.lease(self.artifact))
+                    self._leases.append(
+                        cache.lease(self.artifact, backend=config.backend)
+                    )
                 models = [lease.model for lease in self._leases]
             elif isinstance(source, ServingArtifact):
                 self.artifact = source
                 if cache is not None:
                     for _ in range(config.engines):
-                        self._leases.append(cache.lease(source))
+                        self._leases.append(
+                            cache.lease(source, backend=config.backend)
+                        )
                     models = [lease.model for lease in self._leases]
                 elif config.engines == 1:
-                    models = [source.model()]
+                    models = [source.model_for(config.backend)]
                 else:
-                    models = [source.clone_model() for _ in range(config.engines)]
+                    models = [
+                        source.clone_model_for(config.backend)
+                        for _ in range(config.engines)
+                    ]
             elif isinstance(source, Module):
                 if config.engines != 1:
                     raise ValueError(
                         "a bare-model session cannot fan out (one model, one "
                         "owner); serve an artifact to use engines > 1"
+                    )
+                if config.backend != "float":
+                    raise ValueError(
+                        "a bare-model session has no packed codes to execute; "
+                        "the integer backend needs an artifact (or path) source"
                     )
                 self.artifact = None
                 models = [source]

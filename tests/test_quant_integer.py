@@ -312,3 +312,129 @@ class TestAccumulatorBounds:
         integer_forward(spec, rng.standard_normal((4, 6)))
         # Float activations -> no integer accumulator profile.
         assert spec.acc_bits_used == 0
+
+
+class TestExportCompileParity:
+    """Regression: a spec compiled from the live model and a spec
+    compiled from that model's *packed* artifact payload must be the
+    same program — identical codes, bits, range and per-filter scales.
+    This is what lets the serving integer backend skip float
+    reconstruction entirely."""
+
+    @pytest.fixture(scope="class")
+    def quantized_vgg(self):
+        model = VGGSmall(
+            num_classes=4, image_size=8, width=8, rng=np.random.default_rng(0)
+        )
+        quantize_model(model, max_bits=4, act_bits=3)
+        rng = np.random.default_rng(1)
+        calibrate_activations(
+            model, [rng.standard_normal((4, 3, 8, 8)) for _ in range(2)]
+        )
+        model.eval()
+        return model
+
+    def test_live_and_export_specs_identical(self, quantized_vgg):
+        from repro.quant.export import export_quantized_weights
+        from repro.quant.integer import compile_integer_layer_from_export
+        from repro.quant.packing import deserialize_export, serialize_export
+        from repro.quant.qmodules import quantized_layers
+
+        # Through the packed bytes, not just the in-memory export.
+        export = deserialize_export(
+            serialize_export(export_quantized_weights(quantized_vgg))
+        )
+        layers = quantized_layers(quantized_vgg)
+        assert set(export.layers) == set(layers)
+        for name, layer in layers.items():
+            live = compile_integer_layer(layer, name)
+            packed = compile_integer_layer_from_export(
+                layer, export.layers[name], name
+            )
+            np.testing.assert_array_equal(live.codes, packed.codes)
+            np.testing.assert_array_equal(
+                live.bits_per_filter, packed.bits_per_filter
+            )
+            assert live.weight_lower == packed.weight_lower
+            assert live.weight_upper == packed.weight_upper
+            assert (live.kind, live.stride, live.padding) == (
+                packed.kind, packed.stride, packed.padding,
+            )
+            assert (live.act_bits, live.act_upper) == (
+                packed.act_bits, packed.act_upper,
+            )
+            np.testing.assert_array_equal(
+                live.filter_scales(), packed.filter_scales()
+            )
+
+    def test_export_spec_shape_mismatch_raises(self, quantized_vgg):
+        from repro.quant.export import export_quantized_weights
+        from repro.quant.integer import compile_integer_layer_from_export
+        from repro.quant.qmodules import quantized_layers
+
+        export = export_quantized_weights(quantized_vgg)
+        layers = quantized_layers(quantized_vgg)
+        names = list(layers)
+        with pytest.raises(ValueError, match="shape"):
+            compile_integer_layer_from_export(
+                layers[names[0]], export.layers[names[-1]], names[0]
+            )
+
+
+class TestStrictVerifier:
+    """verify_integer_equivalence(strict=True) failures must name the
+    first offending layer and its max abs error (satellite of the
+    serving-backend PR; mirrors verify_export(strict=True))."""
+
+    def make_model(self):
+        model = VGGSmall(
+            num_classes=4, image_size=8, width=8, rng=np.random.default_rng(2)
+        )
+        quantize_model(model, max_bits=4)
+        rng = np.random.default_rng(3)
+        for layer in [
+            m for _n, m in model.named_modules()
+            if isinstance(m, (QConv2d, QLinear))
+        ]:
+            layer.set_bits(rng.integers(1, 5, size=layer.num_filters))
+        model.eval()
+        return model
+
+    def test_strict_passes_on_clean_model(self, rng):
+        from repro.quant.integer import IntegerEquivalenceError
+
+        model = self.make_model()
+        ok, diff = verify_integer_equivalence(
+            model, rng.standard_normal((2, 3, 8, 8)), strict=True
+        )
+        assert ok and diff <= 1e-8
+
+    def test_strict_failure_names_layer_and_error(self, rng):
+        from repro.quant.integer import IntegerEquivalenceError
+
+        model = self.make_model()
+        x = rng.standard_normal((2, 3, 8, 8))
+        with pytest.raises(IntegerEquivalenceError) as excinfo:
+            # An absurd tolerance forces failure on rounding noise alone;
+            # the message must still localize to a concrete layer.
+            verify_integer_equivalence(model, x, atol=-1.0, strict=True)
+        message = str(excinfo.value)
+        assert "max abs error" in message
+        assert "offending layer" in message
+        # The named layer is a real quantized layer of the model.
+        from repro.quant.qmodules import quantized_layers
+
+        assert any(
+            f"{name!r}" in message for name in quantized_layers(model)
+        )
+
+    def test_diagnose_orders_layers_by_execution(self, rng):
+        from repro.quant.integer import diagnose_integer_equivalence
+        from repro.quant.qmodules import quantized_layers
+
+        model = self.make_model()
+        report = diagnose_integer_equivalence(
+            model, rng.standard_normal((2, 3, 8, 8))
+        )
+        assert [name for name, _err in report] == list(quantized_layers(model))
+        assert all(err >= 0.0 for _name, err in report)

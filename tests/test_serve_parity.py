@@ -356,3 +356,88 @@ class TestReplayHarness:
             assert verify_replay(session, inputs, run) < len(inputs)
             with pytest.raises(AssertionError, match="partial coverage"):
                 verify_replay(session, inputs, run, expected=len(inputs))
+
+
+class TestIntegerBackendParity:
+    """The integer backend through the pooled serving paths: every
+    leased integer compilation is bit-identical across engines, and the
+    replay verifier's rescale-bound leg holds under concurrent load."""
+
+    @pytest.fixture
+    def artifact_path(self, quantized_mlp_factory, tmp_path):
+        model, manifest = quantized_mlp_factory(act_bits=2)
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        return path
+
+    def test_pooled_integer_engines_bit_identical(self, artifact_path):
+        from repro.serve import IntegerServingModel
+
+        cache = ArtifactCache()
+        inputs = np.random.default_rng(17).standard_normal((24, 3, 8, 8))
+        config = ServeConfig(
+            batch_window_s=0.01,
+            max_batch_size=4,
+            record_batches=True,
+            engines=2,
+            backend="integer",
+        )
+        with ServingSession(artifact_path, config=config, cache=cache) as pooled:
+            assert all(
+                isinstance(model, IntegerServingModel)
+                for model in pooled.models
+            )
+            assert pooled.models[0] is not pooled.models[1]
+            run = replay_requests(pooled, inputs, concurrency=4)
+            assert sorted(set(run.engine_indices)) == [0, 1]
+            # Bitwise self-parity per engine + the rescale bound vs the
+            # float prototype, both inside verify_replay.
+            assert verify_replay(
+                pooled, inputs, run, expected=len(inputs)
+            ) == len(inputs)
+            # Leased integer compilations are bit-identical: replay each
+            # engine's executed batches through the *other* engine's
+            # clone and demand bitwise agreement.
+            index_of_all = {rid: [] for rid in run.request_ids}
+            for engine_index, engine in enumerate(pooled.engines):
+                index_of = {
+                    rid: row
+                    for row, (eng, rid) in enumerate(
+                        zip(run.engine_indices, run.request_ids)
+                    )
+                    if eng == engine_index
+                }
+                other = pooled.models[1 - engine_index]
+                for batch in engine.executed_batches():
+                    rows = [index_of[rid] for rid in batch]
+                    with no_grad():
+                        mirrored = other(
+                            Tensor(np.stack([inputs[row] for row in rows]))
+                        ).data
+                    for position, row in enumerate(rows):
+                        np.testing.assert_array_equal(
+                            run.outputs[row], mirrored[position]
+                        )
+        # Float prototype (the verifier's reference) + 2 integer leases
+        # all came from one cache entry.
+        assert cache.stats.misses == 1
+        assert cache.active_leases() == 0
+
+    def test_integer_session_answers_match_float_session_within_bound(
+        self, artifact_path
+    ):
+        from repro.serve import integer_parity_rtol, load_artifact
+
+        cache = ArtifactCache()
+        inputs = np.random.default_rng(23).standard_normal((12, 3, 8, 8))
+        with ServingSession(artifact_path, cache=cache) as session:
+            expected = session.predict_batch(inputs)
+        with ServingSession(
+            artifact_path,
+            cache=cache,
+            config=ServeConfig(backend="integer", engines=2),
+        ) as session:
+            got = session.predict_batch(inputs)
+        rtol = integer_parity_rtol(load_artifact(artifact_path).export)
+        tolerance = rtol * max(1.0, float(np.max(np.abs(expected))))
+        assert float(np.max(np.abs(got - expected))) <= tolerance

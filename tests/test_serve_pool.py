@@ -408,7 +408,7 @@ class TestChaosKill:
         self.wait_for_death(pool.engines[0])
         pendings = [pool.submit(np.zeros((3, 8, 8))) for _ in range(3)]
 
-        def refusing_lease(source):
+        def refusing_lease(source, backend="float"):
             raise RuntimeError("cache shut down")
 
         pool._cache = type("C", (), {"lease": staticmethod(refusing_lease)})()
@@ -435,3 +435,101 @@ class TestChaosKill:
         pool._sweep_deaths()
         pool.close(drain=True, timeout=10)
         assert cache.active_leases() == 0
+
+
+class TestIntegerBackendPool:
+    """The integer backend under autoscaling: scale-ups and chaos-kill
+    replacements lease integer clones, and re-dispatched requests get
+    integer answers bit-identical to an undisturbed integer engine's."""
+
+    def wait_for_death(self, engine, timeout_s: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while not engine.worker_died:
+            if time.monotonic() > deadline:
+                raise AssertionError("killed worker did not die in time")
+            time.sleep(0.005)
+
+    @pytest.fixture
+    def act_artifact(self, quantized_mlp_factory):
+        model, manifest = quantized_mlp_factory(act_bits=2)
+        return compile_artifact(model, manifest)
+
+    def test_scale_up_leases_integer_clones(self, act_artifact):
+        from repro.serve import IntegerServingModel
+
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(
+            min_engines=1, max_engines=2, scale_up_depth=2.0,
+            scale_down_depth=0.5, **MANUAL
+        )
+        pool = AutoscalingEnginePool(
+            act_artifact, cache, policy=policy,
+            batch_window_s=0.0, autostart=False, backend="integer",
+        )
+        pendings = [pool.submit(np.zeros((3, 8, 8))) for _ in range(6)]
+        pool._consider_scaling()  # depth 6 >= 2 -> scale up
+        assert len(pool.engines) == 2
+        records = pool.engine_records()
+        assert all(
+            isinstance(model, IntegerServingModel) for _, _, model in records
+        )
+        # The scale-up clone shares the prototype's immutable codes.
+        first, second = records[0][2], records[1][2]
+        for name, spec in first.specs.items():
+            assert second.specs[name].codes is spec.codes
+        pool.start()
+        for pending in pendings:
+            pending.result(timeout=10)
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+
+    def test_chaos_kill_redispatch_preserves_integer_results(
+        self, act_artifact
+    ):
+        cache = ArtifactCache()
+        policy = AutoscalePolicy(min_engines=1, max_engines=2, **MANUAL)
+        pool = AutoscalingEnginePool(
+            act_artifact, cache, policy=policy,
+            batch_window_s=0.0, record_batches=True, backend="integer",
+        )
+        killed = pool.chaos_kill()
+        assert killed == 0
+        self.wait_for_death(pool.engines[0])
+        inputs = np.random.default_rng(4).standard_normal((6, 3, 8, 8))
+        pendings = [pool.submit(x) for x in inputs]
+        pool._sweep_deaths()
+        outputs = np.stack([pending.result(timeout=10) for pending in pendings])
+        assert {pending.engine_index for pending in pendings} == {1}
+        assert pool.stats.redispatched == 6
+        # The replacement is an integer engine and its rescued answers
+        # pass both verify_replay legs (bitwise self-parity + rescale
+        # bound vs the artifact's float prototype).
+        pool_artifact = act_artifact
+
+        class _PoolSession:  # verify_replay's minimal session surface
+            input_dtype = pool.input_dtype
+            engine_records = staticmethod(pool.engine_records)
+            artifact = pool_artifact
+
+        run = ReplayRun(
+            payload={},
+            outputs=outputs,
+            request_ids=[pending.request_id for pending in pendings],
+            engine_indices=[pending.engine_index for pending in pendings],
+        )
+        assert verify_replay(_PoolSession(), inputs, run, expected=6) == 6
+        # Bit-identical to an undisturbed single integer engine serving
+        # the same batches.
+        reference = act_artifact.clone_integer_model()
+        from repro.tensor.tensor import Tensor, no_grad
+
+        with no_grad():
+            expected = reference(Tensor(np.asarray(inputs))).data
+        for index in range(len(inputs)):
+            np.testing.assert_allclose(
+                outputs[index], expected[index], rtol=1e-9, atol=1e-12
+            )
+        pool.close(drain=True, timeout=10)
+        assert cache.active_leases() == 0
+        # Integer MACs actually ran on the replacement engine.
+        assert pool.stats.acc_bits_used > 0
