@@ -7,6 +7,10 @@
   benchmark harness to print the figures' content on a terminal.
 * :mod:`repro.analysis.classwise` — per-class accuracy before/after
   quantization, related to the importance mass each class kept.
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — the
+  ``repro lint`` AST invariant linter ("reprolint"): determinism,
+  strict-JSON, lock-discipline, thread-lifecycle and bare-except rules
+  over the repo's own sources (stdlib-only; never imports linted code).
 """
 
 from repro.analysis.classwise import (
@@ -23,11 +27,16 @@ from repro.analysis.arrangement import (
     sorted_score_curve,
     sorted_score_curves,
 )
+from repro.analysis.engine import Finding, LintConfig, LintReport, lint_paths
 from repro.analysis.render import ascii_bars, ascii_histogram, ascii_table
 from repro.analysis.tradeoff import TradeoffCurve, render_curve, sweep_budgets
 
 __all__ = [
     "ClasswiseReport",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "lint_paths",
     "TradeoffCurve",
     "classwise_report",
     "kept_importance_per_class",

@@ -1,0 +1,45 @@
+"""Deterministic renderings of a :class:`~repro.analysis.engine.LintReport`.
+
+Two formats, both byte-stable for a fixed source tree so CI can diff
+consecutive runs meaningfully:
+
+* ``text`` — one ``path:line: [rule] message`` line per finding plus a
+  summary line; the human default.
+* ``json`` — the :meth:`LintReport.to_dict` document serialized with
+  ``sort_keys=True`` and ``allow_nan=False`` (the linter eats its own
+  cooking), findings already sorted by ``(path, line, rule, message)``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.files} file(s) "
+        f"({report.suppressed} suppressed)"
+    )
+    if report.counts:
+        lines.append(
+            "by rule: "
+            + ", ".join(f"{rule}={count}" for rule, count in report.counts.items())
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(
+        report.to_dict(), indent=2, sort_keys=True, allow_nan=False
+    )
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "text":
+        return render_text(report)
+    raise ValueError(f"unknown lint output format: {fmt!r}")

@@ -1,0 +1,96 @@
+"""determinism: no global-state RNG, no wall clock in content keys.
+
+The sweep runner's ``--jobs N`` byte-identity contract holds only if
+every unit's randomness flows from its content-key-seeded source.
+Global ``np.random.*`` / ``random.*`` calls read hidden process state
+that differs between serial and parallel schedules; wall-clock values
+inside key/hash helpers poison content-hash caching the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+#: numpy.random attributes that construct seeded sources rather than
+#: consuming the hidden global state — always fine.
+_NUMPY_SEEDED_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+#: stdlib ``random`` attributes that construct independent instances.
+_STDLIB_SEEDED_OK = {"Random", "SystemRandom"}
+
+#: Wall-clock reads that must never feed a cache/content key.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_KEYISH_NAME = re.compile(r"key|hash|digest|fingerprint", re.IGNORECASE)
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "no global-state RNG (np.random.* / random.* outside seeded "
+        "Generators); no wall-clock reads inside key/hash helpers"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        self._walk(ctx, ctx.tree, enclosing_keyish=False, findings=findings)
+        return findings
+
+    def _walk(self, ctx, node, enclosing_keyish, findings) -> None:
+        for child in ast.iter_child_nodes(node):
+            keyish = enclosing_keyish
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                keyish = bool(_KEYISH_NAME.search(child.name))
+            if isinstance(child, ast.Call):
+                message = self._call_message(ctx, child, enclosing_keyish)
+                if message is not None:
+                    findings.append(self.finding(ctx, child, message))
+            self._walk(ctx, child, keyish, findings)
+
+    def _call_message(
+        self, ctx: FileContext, call: ast.Call, in_keyish: bool
+    ) -> Optional[str]:
+        dotted = ctx.dotted(call.func)
+        if dotted is None:
+            return None
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf not in _NUMPY_SEEDED_OK:
+                return (
+                    f"global-state RNG call `{dotted}`; use a seeded "
+                    "`np.random.default_rng(...)` Generator instead"
+                )
+        elif dotted.startswith("random.") and dotted.count(".") == 1:
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf not in _STDLIB_SEEDED_OK:
+                return (
+                    f"global-state RNG call `{dotted}`; use a seeded "
+                    "`random.Random(...)` instance instead"
+                )
+        elif in_keyish and dotted in _WALL_CLOCK:
+            return (
+                f"wall-clock read `{dotted}` inside a key/hash helper; "
+                "content keys must be input-determined"
+            )
+        return None

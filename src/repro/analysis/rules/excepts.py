@@ -1,0 +1,88 @@
+"""bare-except: no silent ``except:`` / ``except Exception`` swallows.
+
+A handler for a blanket exception type passes only if it demonstrably
+does something with the error: re-raises, references the bound
+exception name (collect-and-reraise-later, error payloads), or makes a
+logging-ish call. Everything else hides bugs — especially in worker
+threads, where a swallowed exception is a silent wedge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+_BLANKET_TYPES = {"Exception", "BaseException"}
+_LOGGING_ATTRS = {
+    "warn",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "debug",
+    "info",
+}
+
+
+def _is_blanket(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BLANKET_TYPES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(item, ast.Name) and item.id in _BLANKET_TYPES
+            for item in node.elts
+        )
+    return False
+
+
+def _handles_error(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                    return True
+                if isinstance(func, ast.Name) and func.id == "print":
+                    return True
+    return False
+
+
+class BareExceptRule(Rule):
+    id = "bare-except"
+    description = (
+        "except:/except Exception must re-raise, use the bound error, "
+        "or log — silent swallows hide worker-thread failures"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_blanket(node) and not _handles_error(node):
+                caught = "bare except" if node.type is None else (
+                    "except Exception"
+                    if isinstance(node.type, ast.Name)
+                    else "blanket except"
+                )
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{caught} swallows the error silently; re-raise, "
+                        "log it, or add `# repro: allow(bare-except)` with "
+                        "a justification",
+                    )
+                )
+        return findings

@@ -1,0 +1,106 @@
+"""thread-lifecycle: every started Thread is daemonized or joined.
+
+A non-daemon thread with no reachable ``.join()`` keeps the process
+alive after main exits — in this repo that turns a failed serve run
+into a hung CI job. A ``threading.Thread(...)`` construction passes if:
+
+* it is created with ``daemon=True``, or
+* its enclosing function (or the enclosing class, for threads stashed
+  on ``self`` and joined from another method, e.g. ``close()``) also
+  contains a ``.join()`` call or a ``.daemon = True`` assignment.
+
+The reachability check is scope-containment, not dataflow — biased
+toward false negatives over noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+
+def _has_join_or_daemonize(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            return True
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "daemon"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is True
+                ):
+                    return True
+    return False
+
+
+class ThreadLifecycleRule(Rule):
+    id = "thread-lifecycle"
+    description = (
+        "every threading.Thread must be daemon=True or reachably joined"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        self._walk(ctx, ctx.tree, [ctx.tree], findings)
+        return findings
+
+    def _walk(self, ctx, node, scope_stack, findings) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call) and ctx.dotted(child.func) == (
+                "threading.Thread"
+            ):
+                if not self._is_daemon(child) and not self._joined_nearby(
+                    scope_stack
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            child,
+                            "threading.Thread created without daemon=True "
+                            "and no .join() in the enclosing scope; "
+                            "daemonize it or join it",
+                        )
+                    )
+            push = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            if push:
+                scope_stack.append(child)
+            self._walk(ctx, child, scope_stack, findings)
+            if push:
+                scope_stack.pop()
+
+    @staticmethod
+    def _is_daemon(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "daemon":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+    @staticmethod
+    def _joined_nearby(scope_stack) -> bool:
+        """Innermost function, else its class, else module scope."""
+        function: Optional[ast.AST] = None
+        for scope in reversed(scope_stack):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function = scope
+                break
+        if function is not None and _has_join_or_daemonize(function):
+            return True
+        # Threads stashed on self are often joined from a sibling
+        # method (close/stop); accept a join anywhere in the class.
+        for scope in reversed(scope_stack):
+            if isinstance(scope, ast.ClassDef):
+                return _has_join_or_daemonize(scope)
+        if function is None:
+            return _has_join_or_daemonize(scope_stack[0])
+        return False

@@ -1,0 +1,58 @@
+"""strict-json: every ``json.dump(s)`` must pass ``allow_nan=False``.
+
+Python's default ``json.dumps`` happily emits bare ``NaN``/``Infinity``
+tokens, which are not JSON and which strict readers (including this
+repo's own archive loader) reject. The routing layer
+``repro/experiments/io.py`` — which implements the convention by
+finite-checking floats first — is whitelisted via
+:attr:`LintConfig.strict_json_whitelist`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+
+class StrictJsonRule(Rule):
+    id = "strict-json"
+    description = (
+        "json.dump/json.dumps must pass allow_nan=False "
+        "(or live in the whitelisted experiments/io.py routing layer)"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.config.json_whitelisted(ctx.path):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted not in ("json.dump", "json.dumps"):
+                continue
+            if not self._passes_allow_nan_false(node):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}` without `allow_nan=False` can emit "
+                        "non-JSON NaN/Infinity tokens; pass allow_nan=False "
+                        "or route through repro.experiments.io",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _passes_allow_nan_false(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "allow_nan":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is False
+            if keyword.arg is None:
+                # **kwargs may carry allow_nan; give it the benefit of
+                # the doubt rather than false-positive on indirection.
+                return True
+        return False

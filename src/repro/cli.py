@@ -31,6 +31,11 @@ serve
 predict
     One-shot inference: answer a saved batch (``.npz``/``.npy``) from a
     serving artifact and print the predicted classes.
+lint
+    Run the AST invariant linter (``repro.analysis``) over Python
+    sources: determinism, strict-JSON, lock-discipline,
+    thread-lifecycle and bare-except rules. Exits non-zero on findings;
+    ``--format json`` emits a stable, sorted document for CI diffing.
 models / datasets
     List the registered model architectures / dataset presets.
 """
@@ -41,6 +46,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.engine import ALL_RULE_IDS
 from repro.core.config import CQConfig
 from repro.core.pipeline import ClassBasedQuantizer
 from repro.core.report import summarize
@@ -243,6 +249,35 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("float", "integer"),
         default="float",
         help="execution backend (see `repro serve --backend`)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro AST invariant linter (reprolint)",
+        description=(
+            "Static analysis over Python sources enforcing the repo's "
+            "determinism, strict-JSON and lock/lifecycle conventions. "
+            "Exits 0 on zero findings, 1 otherwise."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        choices=ALL_RULE_IDS,
+        default=None,
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is stable/sorted for CI diffing)",
     )
 
     sub.add_parser("models", help="list registered model architectures")
@@ -593,6 +628,19 @@ def _run_predict(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from repro.analysis.engine import lint_paths
+    from repro.analysis.report import render
+
+    try:
+        report = lint_paths(args.paths, rules=args.rule)
+    except FileNotFoundError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    print(render(report, args.format))
+    return 1 if report.findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -608,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "predict":
         return _run_predict(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "models":
         print("\n".join(available_models()))
         return 0

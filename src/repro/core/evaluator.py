@@ -230,7 +230,7 @@ def _declared_segments(model: Module) -> Optional[List[Tuple[str, Module]]]:
         return None
     try:
         segments = getter()
-    except Exception:  # pragma: no cover - defensive
+    except Exception:  # pragma: no cover - defensive  # repro: allow(bare-except)
         return None
     return list(segments.items())
 

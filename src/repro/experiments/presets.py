@@ -236,6 +236,7 @@ def _cache_key(model_name: str, dataset_name: str, scale: str, seed: int) -> str
             "seed": seed,
         },
         sort_keys=True,
+        allow_nan=False,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

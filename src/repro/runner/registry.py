@@ -249,6 +249,40 @@ def serve_replay_units(
     return units
 
 
+def lint_units(
+    paths: Sequence[str] = ("src/repro",),
+    rules: Optional[Sequence[str]] = None,
+    tag: Optional[str] = None,
+) -> List[UnitSpec]:
+    """One lint unit per linted path.
+
+    Targets :func:`repro.analysis.engine.lint_unit`, so static-analysis
+    findings can be swept and archived next to accuracy grids. The
+    runner's result cache keys on the spec alone and cannot see source
+    edits, so findings-over-time sweeps should carry a distinguishing
+    ``tag`` (a git revision, a date) to get distinct cache entries.
+    """
+    units = []
+    for path in paths:
+        name = f"lint-{str(path).strip('/').replace('/', '-')}"
+        if tag is not None:
+            name += f"-{tag}"
+        units.append(
+            UnitSpec(
+                name=name,
+                target="repro.analysis.engine:lint_unit",
+                params={
+                    "path": str(path),
+                    "rules": None if rules is None else sorted(rules),
+                    "tag": tag,
+                },
+                render="repro.analysis.engine:render_lint_unit",
+            )
+        )
+    return units
+
+
 register_unit_factory("figures", figure_units)
 register_unit_factory("budget-sweep", budget_sweep_units)
 register_unit_factory("serve-replay", serve_replay_units)
+register_unit_factory("lint", lint_units)

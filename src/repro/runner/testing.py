@@ -10,6 +10,7 @@ the target in a fresh process.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -27,19 +28,22 @@ def toy_unit(
 
     ``marker_path`` appends one line per execution, so tests can count
     which units actually ran (a cache hit leaves no line). ``noise``
-    reads the global RNG, making per-unit seeding visible: it must come
-    out identical whether the unit runs inline or in a pool worker.
+    comes from a Generator seeded by the unit's own identity, so it is
+    identical whether the unit runs inline or in a pool worker — and
+    never depends on hidden global RNG state.
     """
     if fail:
         raise RuntimeError(f"toy unit failed on request (value={value})")
     if marker_path is not None:
         with open(marker_path, "a") as marker:
             marker.write(f"{value}:{seed}\n")
+    digest = hashlib.sha256(f"toy:{float(value)!r}:{int(seed)}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
     return {
         "value": float(value),
         "seed": int(seed),
         "scaled": float(value) * (int(seed) + 1),
-        "noise": float(np.random.rand()),
+        "noise": float(rng.random()),
     }
 
 

@@ -287,8 +287,8 @@ class ServingArtifact:
     sidecar_dtype: str = "float64"
     """Storage dtype the sidecar tensors were framed in."""
 
-    _model: Optional[Module] = field(default=None, repr=False)
-    _integer_model: Optional[object] = field(default=None, repr=False)
+    _model: Optional[Module] = field(default=None, repr=False)  # guarded-by: _model_lock
+    _integer_model: Optional[object] = field(default=None, repr=False)  # guarded-by: _model_lock
     _model_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -664,9 +664,9 @@ class ArtifactCache:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.stats = ArtifactCacheStats()
-        self._entries: "OrderedDict[str, ServingArtifact]" = OrderedDict()
-        self._refcounts: Dict[str, int] = {}
+        self.stats = ArtifactCacheStats()  # guarded-by: _lock
+        self._entries: "OrderedDict[str, ServingArtifact]" = OrderedDict()  # guarded-by: _lock
+        self._refcounts: Dict[str, int] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __len__(self) -> int:

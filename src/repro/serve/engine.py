@@ -367,18 +367,18 @@ class InferenceEngine:
         self.batch_window_s = float(batch_window_s)
         self.max_batch_size = int(max_batch_size)
         self._cond = threading.Condition()
-        self._queue: Deque[_QueuedRequest] = deque()
-        self._stats = ServeStats(backend=self._stats_backend)
-        self._record = record_batches
-        self._batches: List[Tuple[int, ...]] = []
-        self._next_id = 0
-        self._in_flight = 0
-        self._current_batch: List[_QueuedRequest] = []
-        self._closing = False
-        self._drain_on_close = True
-        self._kill = False
-        self._crashed = False
-        self._thread: Optional[threading.Thread] = None
+        self._queue: Deque[_QueuedRequest] = deque()  # guarded-by: _cond
+        self._stats = ServeStats(backend=self._stats_backend)  # guarded-by: _cond
+        self._record = record_batches  # immutable after construction
+        self._batches: List[Tuple[int, ...]] = []  # guarded-by: _cond
+        self._next_id = 0  # guarded-by: _cond
+        self._in_flight = 0  # guarded-by: _cond
+        self._current_batch: List[_QueuedRequest] = []  # guarded-by: _cond
+        self._closing = False  # guarded-by: _cond
+        self._drain_on_close = True  # guarded-by: _cond
+        self._kill = False  # guarded-by: _cond
+        self._crashed = False  # guarded-by: _cond
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _cond
         if autostart:
             self.start()
 
@@ -399,7 +399,8 @@ class InferenceEngine:
 
     @property
     def started(self) -> bool:
-        return self._thread is not None
+        with self._cond:
+            return self._thread is not None
 
     # ------------------------------------------------------------------
     # Chaos / death handling
@@ -423,7 +424,8 @@ class InferenceEngine:
     @property
     def worker_died(self) -> bool:
         """True once the worker thread has died without closing."""
-        return self._crashed
+        with self._cond:
+            return self._crashed
 
     @property
     def queue_depth(self) -> int:
@@ -491,6 +493,7 @@ class InferenceEngine:
             already_closing = self._closing
             self._closing = True
             self._drain_on_close = self._drain_on_close and drain
+            draining = self._drain_on_close
             thread = self._thread
             self._cond.notify_all()
         if thread is not None:
@@ -498,10 +501,12 @@ class InferenceEngine:
             if thread.is_alive():
                 raise ShutdownTimeout(
                     f"engine worker still running after {timeout} s "
-                    f"(draining={self._drain_on_close}); call close() again "
+                    f"(draining={draining}); call close() again "
                     "to keep waiting"
                 )
-            if self._crashed:
+            with self._cond:
+                crashed = self._crashed
+            if crashed:
                 # The worker died rather than closed: whatever it left
                 # behind can never be answered here. Fail each stranded
                 # request loudly — closing a dead engine must not turn

@@ -106,11 +106,11 @@ class ServingEnginePool:
         self._batch_window_s = float(batch_window_s)
         self._max_batch_size = int(max_batch_size)
         self._record_batches = bool(record_batches)
-        self._started = bool(autostart)
+        self._started = bool(autostart)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._next = 0
-        self._slots: List[_EngineSlot] = []
-        self._live: List[_EngineSlot] = []
+        self._next = 0  # guarded-by: _lock
+        self._slots: List[_EngineSlot] = []  # guarded-by: _lock
+        self._live: List[_EngineSlot] = []  # guarded-by: _lock
         for model in models:
             self._add_engine_locked(model)
 
@@ -174,7 +174,8 @@ class ServingEnginePool:
     @property
     def input_dtype(self) -> np.dtype:
         """The served models' compute dtype (identical across clones)."""
-        return self._slots[0].engine.input_dtype
+        with self._lock:
+            return self._slots[0].engine.input_dtype
 
     # ------------------------------------------------------------------
     # Request side
@@ -478,8 +479,12 @@ class AutoscalingEnginePool(ServingEnginePool):
         pool keeps serving the backend it was asked for."""
         self.policy = policy
         self._decider = AutoscaleDecider(policy)
+        # _events/_counters are mutated only by the single supervisor
+        # thread (and by close() after joining it); readers take
+        # GIL-atomic list/dict snapshots. _pool_closing is a monotonic
+        # flag. None of them needs _lock — deliberately undeclared.
         self._events: List[ScaleEvent] = []
-        self._peak_engines = policy.min_engines
+        self._peak_engines = policy.min_engines  # guarded-by: _lock
         self._counters = {"ups": 0, "downs": 0, "deaths": 0, "redispatched": 0}
         self._pool_closing = False
         self._supervisor_error: Optional[BaseException] = None
@@ -680,7 +685,8 @@ class AutoscalingEnginePool(ServingEnginePool):
 
     @property
     def peak_engines(self) -> int:
-        return self._peak_engines
+        with self._lock:
+            return self._peak_engines
 
     @property
     def stats(self) -> ServeStats:

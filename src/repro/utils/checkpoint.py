@@ -28,7 +28,7 @@ def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict] = No
     payload = dict(model.state_dict())
     if metadata is not None:
         payload[_METADATA_KEY] = np.frombuffer(
-            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            json.dumps(metadata, allow_nan=False).encode("utf-8"), dtype=np.uint8
         )
     # np.savez appends ".npz" unless the name already ends with it, so
     # the temp name must keep the suffix for the rename to be exact.

@@ -17,8 +17,8 @@ def set_global_seed(seed: int) -> np.random.Generator:
     examples and benchmarks call this once for belt-and-braces
     determinism of any stray legacy-RNG use.
     """
-    random.seed(seed)
-    np.random.seed(seed % (2 ** 32))
+    random.seed(seed)  # repro: allow(determinism) - this IS the seeding utility
+    np.random.seed(seed % (2 ** 32))  # repro: allow(determinism) - legacy-RNG seeding on purpose
     return np.random.default_rng(seed)
 
 

@@ -59,8 +59,12 @@ class TestDeterminism:
 
     def test_payload_is_json_able_and_deterministic(self):
         config = TraceConfig(kind="bursty", requests=40, rate_rps=300.0, seed=3)
-        first = json.dumps(generate_trace(config).to_payload(), sort_keys=True)
-        second = json.dumps(generate_trace(config).to_payload(), sort_keys=True)
+        first = json.dumps(
+            generate_trace(config).to_payload(), sort_keys=True, allow_nan=False
+        )
+        second = json.dumps(
+            generate_trace(config).to_payload(), sort_keys=True, allow_nan=False
+        )
         assert first == second
 
 
