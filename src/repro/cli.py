@@ -28,9 +28,18 @@ serve
     across N engines, each serving a private model clone leased from
     the content-hash artifact cache; ``--repeat N`` starts N serving
     rounds in sequence to demonstrate the cache.
+gateway
+    Serve one or more CQW1 artifacts over HTTP (stdlib asyncio, no
+    extra deps): ``repro gateway mlp=artifact.cqw1`` registers each
+    ``name=path`` pair in a multi-artifact registry and exposes
+    ``POST /v1/predict/<name>``, ``GET /healthz``, ``/v1/artifacts``
+    and ``/v1/stats``. Per-artifact admission budgets shed overload
+    with HTTP 429 + ``Retry-After``; SIGTERM drains gracefully.
 predict
     One-shot inference: answer a saved batch (``.npz``/``.npy``) from a
-    serving artifact and print the predicted classes.
+    serving artifact and print the predicted classes. ``--url`` sends
+    the batch to a running gateway instead of loading the artifact
+    locally.
 lint
     Run the AST invariant linter (``repro.analysis``) over Python
     sources: determinism, strict-JSON, lock-discipline,
@@ -230,10 +239,88 @@ def _build_parser() -> argparse.ArgumentParser:
         "bound)",
     )
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve CQW1 artifacts over HTTP (multi-artifact registry)",
+        description=(
+            "Stand up the network serving gateway: each name=path pair "
+            "becomes an artifact served at POST /v1/predict/<name>. "
+            "Runs until SIGTERM/SIGINT, then drains gracefully."
+        ),
+    )
+    gateway.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="NAME=PATH",
+        help="artifact to register, as name=path-to-.cqw1 (repeatable)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="bind address")
+    gateway.add_argument(
+        "--port", type=int, default=8707, help="bind port (0 picks a free one)"
+    )
+    gateway.add_argument(
+        "--backend",
+        choices=("float", "integer"),
+        default="float",
+        help="execution backend for every artifact (see `repro serve --backend`)",
+    )
+    gateway.add_argument(
+        "--engines", type=int, default=1, help="engines leased per artifact"
+    )
+    gateway.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="autoscale each artifact between --engines and --max-engines "
+        "from queue depth",
+    )
+    gateway.add_argument(
+        "--max-engines",
+        type=int,
+        default=4,
+        help="autoscaler upper bound on leased engines",
+    )
+    gateway.add_argument(
+        "--budget",
+        type=int,
+        default=256,
+        help="per-artifact admission budget (rows pending before 429)",
+    )
+    gateway.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="per-engine queue bound (QueueFull past it; default unbounded)",
+    )
+    gateway.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window per artifact",
+    )
+    gateway.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size cap"
+    )
+    gateway.add_argument(
+        "--preload",
+        action="store_true",
+        help="load every artifact at startup instead of on first request",
+    )
+
     predict = sub.add_parser(
         "predict", help="one-shot inference on a saved batch from an artifact"
     )
-    predict.add_argument("--artifact", required=True, help="CQW1 serving artifact path")
+    predict.add_argument(
+        "--artifact",
+        default=None,
+        help="CQW1 serving artifact path (local mode)",
+    )
+    predict.add_argument(
+        "--url",
+        default=None,
+        help="gateway base URL (e.g. http://127.0.0.1:8707) — send the "
+        "batch to a running `repro gateway` instead of loading locally; "
+        "--artifact then names the registered artifact",
+    )
     predict.add_argument(
         "--input", required=True, help=".npz/.npy holding the input batch (N,C,H,W)"
     )
@@ -587,11 +674,96 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_gateway(args) -> int:
+    from repro.gateway import ArtifactRegistry, ArtifactSpec, GatewayServer
+    from repro.serve import AutoscalePolicy
+
+    specs = []
+    for pair in args.artifacts:
+        name, sep, path = pair.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"gateway: artifact must look like name=path, got {pair!r}",
+                file=sys.stderr,
+            )
+            return 2
+        specs.append((name, path))
+    policy = None
+    if args.autoscale:
+        policy = AutoscalePolicy(
+            min_engines=args.engines, max_engines=args.max_engines
+        )
+    registry = ArtifactRegistry()
+    for name, path in specs:
+        registry.register(
+            ArtifactSpec(
+                name=name,
+                source=path,
+                backend=args.backend,
+                engines=args.engines,
+                autoscale=policy,
+                batch_window_s=args.batch_window_ms / 1e3,
+                max_batch_size=args.max_batch,
+                max_pending=args.max_pending,
+                pending_budget=args.budget,
+            ),
+            preload=args.preload,
+        )
+    server = GatewayServer(registry, host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as error:
+        print(f"gateway: cannot bind {args.host}:{args.port} — {error}",
+              file=sys.stderr)
+        return 1
+    names = ", ".join(name for name, _path in specs)
+    print(f"gateway: serving {names} at {server.url}")
+    print("gateway: POST /v1/predict/<name> | GET /healthz /v1/artifacts /v1/stats")
+    print("gateway: SIGTERM/Ctrl-C drains and exits")
+    server.serve_forever(handle_signals=True)
+    print("gateway: drained, bye")
+    return 0
+
+
+def _predict_remote(args, images) -> int:
+    import numpy as np
+
+    from repro.gateway import GatewayClient, GatewayHTTPError
+
+    with GatewayClient(args.url) as client:
+        try:
+            document = client.predict_raw(args.artifact, images)
+        except GatewayHTTPError as error:
+            print(f"predict: gateway answered {error}", file=sys.stderr)
+            return 1
+        from repro.gateway import decode_tensor
+
+        logits = decode_tensor(document["outputs"])
+    labels = logits.argmax(axis=1)
+    for index, label in enumerate(labels):
+        print(f"sample {index}: class {int(label)} (logit {logits[index, label]:+.4f})")
+    print(
+        f"predicted {len(labels)} samples from {args.artifact} at {args.url} "
+        f"({document['backend']} backend)"
+    )
+    if args.output:
+        np.savez(args.output, logits=logits, labels=labels)
+        print(f"wrote logits/labels to {args.output}")
+    return 0
+
+
 def _run_predict(args) -> int:
     import numpy as np
 
     from repro.serve import DEFAULT_CACHE, ServeConfig, ServingSession
 
+    if args.artifact is None:
+        print(
+            "predict: --artifact is required (a CQW1 path, or the "
+            "registered name with --url)",
+            file=sys.stderr,
+        )
+        return 2
     loaded = np.load(args.input)
     if isinstance(loaded, np.ndarray):
         images = loaded
@@ -611,6 +783,8 @@ def _run_predict(args) -> int:
     if images.ndim < 2:
         print(f"predict: expected a batch, got shape {images.shape}", file=sys.stderr)
         return 2
+    if args.url is not None:
+        return _predict_remote(args, images)
     artifact = DEFAULT_CACHE.load(args.artifact)
     with ServingSession(
         artifact,
@@ -654,6 +828,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_cost(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "gateway":
+        return _run_gateway(args)
     if args.command == "predict":
         return _run_predict(args)
     if args.command == "lint":

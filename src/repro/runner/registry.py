@@ -249,6 +249,73 @@ def serve_replay_units(
     return units
 
 
+def gateway_replay_units(
+    model: str = "vgg-small",
+    dataset: str = "synth10",
+    scale: str = "tiny",
+    seeds: Sequence[int] = (0,),
+    bits: Sequence[int] = (2,),
+    requests: int = 48,
+    trace: str = "uniform",
+    rate_rps: float = 150.0,
+    slo_ms: float = 100.0,
+    batch_window_ms: float = 2.0,
+    max_batch_size: int = 16,
+    pool_size: int = 1,
+    autoscale: bool = False,
+    max_engines: int = 4,
+    backend: str = "float",
+    workers: int = 8,
+    pending_budget: int = 256,
+) -> List[UnitSpec]:
+    """One over-the-wire serving unit per ``(bits, seed)`` grid point.
+
+    Targets :func:`repro.gateway.replay.run_point`: stand up a loopback
+    HTTP gateway for a uniform-``bits`` artifact, drive the seeded
+    traffic ``trace`` through real sockets with ``workers`` client
+    threads, verify every wire-served answer against the server-side
+    session (bit-exact float, rescale-bounded integer), and archive the
+    latency/SLO report plus the HTTP-vs-in-process overhead ratio.
+    """
+    units = []
+    for bit in bits:
+        for seed in seeds:
+            suffix = f"-b{int(bit)}-s{int(seed)}-p{int(pool_size)}"
+            if trace != "uniform":
+                suffix += f"-{trace}"
+            if autoscale:
+                suffix += f"-auto{int(max_engines)}"
+            if backend != "float":
+                suffix += "-int" if backend == "integer" else f"-{backend}"
+            units.append(
+                UnitSpec(
+                    name=f"gateway-replay-{model}-{dataset}-{scale}{suffix}",
+                    target="repro.gateway.replay:run_point",
+                    params={
+                        "model": model,
+                        "dataset": dataset,
+                        "scale": scale,
+                        "seed": int(seed),
+                        "bits": int(bit),
+                        "requests": int(requests),
+                        "trace": str(trace),
+                        "rate_rps": float(rate_rps),
+                        "slo_ms": float(slo_ms),
+                        "batch_window_ms": float(batch_window_ms),
+                        "max_batch_size": int(max_batch_size),
+                        "pool_size": int(pool_size),
+                        "autoscale": bool(autoscale),
+                        "max_engines": int(max_engines),
+                        "backend": str(backend),
+                        "workers": int(workers),
+                        "pending_budget": int(pending_budget),
+                    },
+                    render="repro.gateway.replay:render",
+                )
+            )
+    return units
+
+
 def lint_units(
     paths: Sequence[str] = ("src/repro",),
     rules: Optional[Sequence[str]] = None,
@@ -285,4 +352,5 @@ def lint_units(
 register_unit_factory("figures", figure_units)
 register_unit_factory("budget-sweep", budget_sweep_units)
 register_unit_factory("serve-replay", serve_replay_units)
+register_unit_factory("gateway-replay", gateway_replay_units)
 register_unit_factory("lint", lint_units)

@@ -48,6 +48,7 @@ from repro.serve.engine import (
     EngineDied,
     InferenceEngine,
     PendingPrediction,
+    QueueFull,
     RequestCancelled,
     ServeStats,
     ShutdownTimeout,
@@ -102,6 +103,7 @@ __all__ = [
     "IntegerServingModel",
     "ModelLease",
     "PendingPrediction",
+    "QueueFull",
     "ReplayRun",
     "RequestCancelled",
     "SIDECAR_DTYPES",

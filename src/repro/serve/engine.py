@@ -28,7 +28,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 #: Latency samples kept for percentile reporting (a bounded recency
 #: window so long-lived servers don't grow per-request state; the
@@ -48,6 +48,17 @@ class EngineClosed(RuntimeError):
 class RequestCancelled(RuntimeError):
     """Raised from ``result()`` when the engine shut down without
     running the request (``close(drain=False)``)."""
+
+
+class QueueFull(RuntimeError):
+    """Raised by ``submit`` when the engine's pending budget
+    (``max_pending``) is exhausted — the request was **not** enqueued.
+
+    This is load shedding, not failure: rejecting at the door keeps an
+    overloaded engine's memory bounded instead of queueing without
+    limit. Shed requests are counted in :attr:`ServeStats.rejected`
+    and never appear in ``requests``. The gateway's HTTP front end
+    turns this into a 429 with ``Retry-After``."""
 
 
 class ShutdownTimeout(RuntimeError):
@@ -103,6 +114,10 @@ class ServeStats:
 
     cancelled: int = 0
     """Requests dropped by a non-draining shutdown."""
+
+    rejected: int = 0
+    """Requests shed at admission (``max_pending`` exhausted — they
+    were never enqueued, so they are not part of ``requests``)."""
 
     forwards: int = 0
     """Model executions (one per batch, full or singleton)."""
@@ -189,7 +204,8 @@ class ServeStats:
     def summary(self) -> str:
         lines = [
             f"requests: {self.requests} ({self.completed} completed, "
-            f"{self.errors} errors, {self.cancelled} cancelled)",
+            f"{self.errors} errors, {self.cancelled} cancelled)"
+            + (f"; {self.rejected} shed at admission" if self.rejected else ""),
             f"forwards: {self.forwards} "
             f"(mean batch {self.mean_batch_size:.2f}, max {self.max_batch_seen}, "
             f"{self.coalesced_forwards} coalesced)",
@@ -215,6 +231,42 @@ class ServeStats:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON-able view of the counters (wire schema of the
+        gateway's ``/v1/stats``). Floats are finite by construction —
+        percentiles of an empty window are 0.0 — so the document dumps
+        under ``allow_nan=False``."""
+        return {
+            "requests": int(self.requests),
+            "completed": int(self.completed),
+            "errors": int(self.errors),
+            "cancelled": int(self.cancelled),
+            "rejected": int(self.rejected),
+            "forwards": int(self.forwards),
+            "coalesced_forwards": int(self.coalesced_forwards),
+            "batched_requests": int(self.batched_requests),
+            "mean_batch_size": float(self.mean_batch_size),
+            "max_batch_seen": int(self.max_batch_seen),
+            "max_queue_depth": int(self.max_queue_depth),
+            "total_forward_s": float(self.total_forward_s),
+            "latency_ms": {
+                "mean": float(self.mean_latency_s * 1e3),
+                "p50": float(self.latency_percentile(50) * 1e3),
+                "p95": float(self.latency_percentile(95) * 1e3),
+                "p99": float(self.latency_percentile(99) * 1e3),
+                "max": float(self.max_latency_s * 1e3),
+            },
+            "scale_ups": int(self.scale_ups),
+            "scale_downs": int(self.scale_downs),
+            "engine_deaths": int(self.engine_deaths),
+            "redispatched": int(self.redispatched),
+            "artifact_nbytes": int(self.artifact_nbytes),
+            "payload_nbytes": int(self.payload_nbytes),
+            "sidecar_nbytes": int(self.sidecar_nbytes),
+            "backend": str(self.backend),
+            "acc_bits_used": int(self.acc_bits_used),
+        }
+
 
 def combine_serve_stats(snapshots) -> "ServeStats":
     """Aggregate per-engine stat snapshots into one pool-level view.
@@ -236,6 +288,7 @@ def combine_serve_stats(snapshots) -> "ServeStats":
         merged.completed += stats.completed
         merged.errors += stats.errors
         merged.cancelled += stats.cancelled
+        merged.rejected += stats.rejected
         merged.forwards += stats.forwards
         merged.scale_ups += stats.scale_ups
         merged.scale_downs += stats.scale_downs
@@ -343,6 +396,11 @@ class InferenceEngine:
         Start the worker thread immediately. Pass ``False`` to queue
         requests first and :meth:`start` later (deterministic batch
         composition — the benchmarks use this).
+    max_pending:
+        Admission budget: the most requests allowed queued + in flight
+        at once. A submit beyond it raises :class:`QueueFull` instead
+        of growing the queue without bound (``None`` — the default —
+        keeps the historical unbounded behaviour for embedded use).
     """
 
     def __init__(
@@ -352,11 +410,14 @@ class InferenceEngine:
         max_batch_size: int = 16,
         record_batches: bool = False,
         autostart: bool = True,
+        max_pending: Optional[int] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if batch_window_s < 0:
             raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._model = model
         model.eval()
         self.input_dtype = _model_input_dtype(model)
@@ -366,6 +427,7 @@ class InferenceEngine:
         self._stats_backend = getattr(model, "serving_backend", "float")
         self.batch_window_s = float(batch_window_s)
         self.max_batch_size = int(max_batch_size)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self._cond = threading.Condition()
         self._queue: Deque[_QueuedRequest] = deque()  # guarded-by: _cond
         self._stats = ServeStats(backend=self._stats_backend)  # guarded-by: _cond
@@ -466,7 +528,9 @@ class InferenceEngine:
         The request gets a fresh engine-local id (ids are engine-local;
         the dead engine's id space means nothing here) and its pending
         handle is remapped, keeping ``(engine_index, request_id)``
-        globally meaningful after re-dispatch.
+        globally meaningful after re-dispatch. Adoption deliberately
+        bypasses ``max_pending``: the request was already admitted once,
+        and shedding it now would silently drop accepted work.
         """
         with self._cond:
             if self._closing:
@@ -569,6 +633,15 @@ class InferenceEngine:
         with self._cond:
             if self._closing:
                 raise EngineClosed("engine is closed")
+            if (
+                self.max_pending is not None
+                and len(self._queue) + self._in_flight >= self.max_pending
+            ):
+                self._stats.rejected += 1
+                raise QueueFull(
+                    f"engine has {len(self._queue) + self._in_flight} requests "
+                    f"pending (max_pending={self.max_pending}); retry later"
+                )
             request = _QueuedRequest(self._next_id, array, time.monotonic())
             self._next_id += 1
             self._queue.append(request)

@@ -51,6 +51,7 @@ from repro.serve.engine import (
     EngineDied,
     InferenceEngine,
     PendingPrediction,
+    QueueFull,
     ServeStats,
     ShutdownTimeout,
     combine_serve_stats,
@@ -94,6 +95,7 @@ class ServingEnginePool:
         max_batch_size: int = 16,
         record_batches: bool = False,
         autostart: bool = True,
+        max_pending: Optional[int] = None,
     ):
         models = list(models)
         if not models:
@@ -106,6 +108,9 @@ class ServingEnginePool:
         self._batch_window_s = float(batch_window_s)
         self._max_batch_size = int(max_batch_size)
         self._record_batches = bool(record_batches)
+        self._max_pending = None if max_pending is None else int(max_pending)
+        """Per-engine admission budget handed to every engine the pool
+        ever stands up (initial, scale-up and death-replacement alike)."""
         self._started = bool(autostart)  # guarded-by: _lock
         self._lock = threading.Lock()
         self._next = 0  # guarded-by: _lock
@@ -127,6 +132,7 @@ class ServingEnginePool:
             max_batch_size=self._max_batch_size,
             record_batches=self._record_batches,
             autostart=self._started,
+            max_pending=self._max_pending,
         )
         with self._lock:
             slot = _EngineSlot(len(self._slots), engine, model, lease)
@@ -186,21 +192,33 @@ class ServingEnginePool:
         If the rotation changes underneath us (an engine died or was
         retired between picking it and submitting), the next live
         engine is tried; :class:`EngineClosed` propagates only when no
-        live engine accepts.
+        live engine accepts. An engine at its ``max_pending`` budget is
+        likewise skipped for the next one — :class:`QueueFull`
+        propagates only once every live engine has shed the request,
+        so the pool's effective admission budget is the sum of its
+        engines'.
         """
         attempts = 0
+        full = 0
+        last_full: Optional[QueueFull] = None
         while True:
             with self._lock:
                 if not self._live:
                     raise EngineClosed("pool has no live engines")
                 if attempts > len(self._live):
                     raise EngineClosed("pool is closed")
+                if full >= len(self._live):
+                    raise last_full
                 slot = self._live[self._next % len(self._live)]
                 self._next += 1
             try:
                 pending = slot.engine.submit(x)
             except EngineClosed:
                 attempts += 1
+                continue
+            except QueueFull as exc:
+                full += 1
+                last_full = exc
                 continue
             pending.engine_index = slot.index
             return pending
@@ -469,6 +487,7 @@ class AutoscalingEnginePool(ServingEnginePool):
         record_batches: bool = False,
         autostart: bool = True,
         backend: str = "float",
+        max_pending: Optional[int] = None,
     ):
         policy = policy if policy is not None else AutoscalePolicy()
         self._artifact = artifact
@@ -500,6 +519,7 @@ class AutoscalingEnginePool(ServingEnginePool):
                 max_batch_size=max_batch_size,
                 record_batches=record_batches,
                 autostart=autostart,
+                max_pending=max_pending,
             )
         except BaseException:
             for lease in leases:

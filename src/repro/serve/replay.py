@@ -20,6 +20,13 @@ uniform-bit artifact → trace-driven replay vs sequential baseline,
 optionally autoscaled and chaos-killed) as a runner unit, registered
 as the ``serve-replay`` family in :mod:`repro.runner.registry`, so
 sweeps can include serving benchmarks alongside accuracy grids.
+
+Both replay drivers are duck-typed over the session: anything with
+``input_dtype``/``submit``/``stats``/``engines``/``pool`` works, which
+is how :class:`repro.gateway.client.GatewayReplayClient` replays the
+same traces **over HTTP** against a live gateway and still verifies
+parity with :func:`verify_replay` (the ``gateway-replay`` family in
+:mod:`repro.gateway.replay`).
 """
 
 from __future__ import annotations

@@ -38,7 +38,12 @@ from repro.serve.artifact import (
     ModelLease,
     ServingArtifact,
 )
-from repro.serve.engine import InferenceEngine, PendingPrediction, ServeStats
+from repro.serve.engine import (
+    InferenceEngine,
+    PendingPrediction,
+    ServeStats,
+    ShutdownTimeout,
+)
 from repro.serve.pool import (
     AutoscalePolicy,
     AutoscalingEnginePool,
@@ -67,6 +72,13 @@ class ServeConfig:
     (:mod:`repro.serve.integer` — requires an artifact source, and
     answers agree with the float backend within the derived rescale
     bound checked by :func:`~repro.serve.replay.verify_replay`).
+
+    ``max_pending`` bounds each engine's admitted-but-unanswered work:
+    a submit beyond the budget raises
+    :class:`~repro.serve.engine.QueueFull` (counted in
+    ``ServeStats.rejected``) instead of growing the queue — the
+    load-shedding contract the gateway maps to HTTP 429. ``None``
+    (default) keeps the queue unbounded.
     """
 
     batch_window_s: float = 0.002
@@ -76,6 +88,7 @@ class ServeConfig:
     engines: int = 1
     autoscale: Optional[AutoscalePolicy] = None
     backend: str = "float"
+    max_pending: Optional[int] = None
 
 
 class ServingSession:
@@ -103,6 +116,9 @@ class ServingSession:
                 "expected 'float' or 'integer'"
             )
         self.config = config
+        self._closed = False
+        """Set once a close() sweep has fully succeeded — later calls
+        are contractual no-ops (see :meth:`close`)."""
         self._leases: List[ModelLease] = []
         # Any failure between taking the first lease and standing the
         # pool up must return the claims, or the cache entry would stay
@@ -141,6 +157,7 @@ class ServingSession:
                     record_batches=config.record_batches,
                     autostart=config.autostart,
                     backend=config.backend,
+                    max_pending=config.max_pending,
                 )
             elif isinstance(source, (str, Path)):
                 cache = cache if cache is not None else DEFAULT_CACHE
@@ -193,6 +210,7 @@ class ServingSession:
                     max_batch_size=config.max_batch_size,
                     record_batches=config.record_batches,
                     autostart=config.autostart,
+                    max_pending=config.max_pending,
                 )
         except BaseException:
             for lease in self._leases:
@@ -312,12 +330,33 @@ class ServingSession:
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut the engines down (gracefully by default) and release the
-        session's artifact leases. Idempotent."""
+        session's artifact leases.
+
+        Idempotent by contract, not by luck: once a ``close()`` has
+        succeeded, every later ``close()`` — any ``drain`` flag,
+        including the implicit ``__exit__`` one — returns without
+        touching the pool. A :class:`ShutdownTimeout` leaves the
+        session open *and its leases held* (laggard engines are still
+        serving their clones); the retried ``close()`` keeps waiting
+        and releases them on success, mirroring
+        :meth:`AutoscalingEnginePool.close`. Any other pool failure
+        still releases the session's leases — the close sweep has
+        already stopped every engine it could, and pinning the cache
+        entry for the process lifetime would compound the failure.
+        """
+        if self._closed:
+            return
         try:
             self._pool.close(drain=drain, timeout=timeout)
-        finally:
+        except ShutdownTimeout:
+            raise
+        except BaseException:
             for lease in self._leases:
                 lease.release()
+            raise
+        self._closed = True
+        for lease in self._leases:
+            lease.release()
 
     def __enter__(self) -> "ServingSession":
         return self

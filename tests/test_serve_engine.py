@@ -11,6 +11,7 @@ from repro.nn.module import Module
 from repro.serve import (
     EngineClosed,
     InferenceEngine,
+    QueueFull,
     RequestCancelled,
     ShutdownTimeout,
     combine_serve_stats,
@@ -291,6 +292,76 @@ class TestErrorsAndLifecycle:
         engine = InferenceEngine(make_toy_model())
         engine.predict(np.ones(3))
         engine.close(timeout=10)  # no raise
+
+
+class TestAdmission:
+    """Bounded admission: max_pending sheds load instead of growing."""
+
+    def test_submit_beyond_budget_sheds(self):
+        model = make_toy_model()
+        engine = InferenceEngine(model, autostart=False, max_pending=2)
+        admitted = [engine.submit(np.ones(3)) for _ in range(2)]
+        with pytest.raises(QueueFull, match="max_pending=2"):
+            engine.submit(np.ones(3))
+        stats = engine.stats
+        assert stats.requests == 2  # the shed submit is not a request
+        assert stats.rejected == 1
+        # Draining the backlog restores the admission budget.
+        engine.start()
+        engine.drain(timeout=10)
+        recovered = engine.submit(np.ones(3))
+        np.testing.assert_array_equal(
+            recovered.result(timeout=10), expected_output(model, np.ones(3))
+        )
+        engine.close(timeout=10)
+        assert all(pending.done() for pending in admitted)
+        assert engine.stats.requests == 3 and engine.stats.rejected == 1
+
+    def test_in_flight_work_counts_against_budget(self):
+        """The budget covers admitted-but-unanswered work, not just the
+        queue — otherwise a slow forward would hide unbounded growth."""
+        engine = InferenceEngine(
+            SlowModel(delay_s=0.3), batch_window_s=0.0, max_batch_size=1,
+            max_pending=1,
+        )
+        pending = engine.submit(np.ones(3))
+        deadline = time.monotonic() + 5.0
+        saw_inflight_rejection = False
+        while time.monotonic() < deadline:
+            with engine._cond:
+                in_flight = engine._in_flight
+            if in_flight:
+                # The queue is empty (the worker popped the request) but
+                # the budget is still spent until the answer lands.
+                with pytest.raises(QueueFull):
+                    engine.submit(np.ones(3))
+                saw_inflight_rejection = True
+                break
+            time.sleep(0.005)
+        assert saw_inflight_rejection
+        np.testing.assert_array_equal(pending.result(timeout=10), np.ones(3))
+        engine.close(timeout=10)
+
+    def test_rejected_merges_and_summarizes(self):
+        engine = InferenceEngine(make_toy_model(), autostart=False, max_pending=1)
+        engine.submit(np.ones(3))
+        with pytest.raises(QueueFull):
+            engine.submit(np.ones(3))
+        merged = combine_serve_stats([engine.stats, engine.stats])
+        assert merged.rejected == 2
+        assert "shed at admission" in engine.stats.summary()
+        engine.close(drain=False)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            InferenceEngine(make_toy_model(), autostart=False, max_pending=0)
+
+    def test_unbounded_by_default(self):
+        engine = InferenceEngine(make_toy_model(), autostart=False)
+        for _ in range(64):
+            engine.submit(np.ones(3))
+        assert engine.stats.rejected == 0
+        engine.close(drain=False)
 
 
 class TestInputDtype:

@@ -14,6 +14,7 @@ from repro.serve import (
     AutoscalePolicy,
     AutoscalingEnginePool,
     EngineDied,
+    QueueFull,
     ReplayRun,
     ServingEnginePool,
     ShutdownTimeout,
@@ -108,6 +109,36 @@ class TestPoolLifecycle:
         pool = ServingEnginePool([make_toy_model()])
         pool.close()
         pool.close()
+
+    def test_queue_full_tries_next_engine_before_shedding(self):
+        """The pool's effective budget is the sum of its engines': a
+        full engine is skipped for a live one with headroom, and
+        QueueFull propagates only when every live engine shed."""
+        models = [make_toy_model() for _ in range(2)]
+        pool = ServingEnginePool(
+            models, batch_window_s=0.0, autostart=False, max_pending=2
+        )
+        engines = pool.engines
+        # Fill engine 0's budget out-of-band; the pool rotation starts
+        # there, so each pool submit must skip past it to engine 1.
+        direct = [engines[0].submit(np.ones(3)) for _ in range(2)]
+        routed = [pool.submit(np.ones(3)) for _ in range(2)]
+        assert [p.engine_index for p in routed] == [1, 1]
+        # Now every live engine is at budget: the pool sheds.
+        with pytest.raises(QueueFull, match="max_pending=2"):
+            pool.submit(np.ones(3))
+        # Per-engine `rejected` counts every engine-level shed, even
+        # ones a rotation peer later absorbed: engine 0 shed each of
+        # the two skipped submits plus the final one, engine 1 only
+        # the final one.
+        assert [s.rejected for s in pool.per_engine_stats()] == [3, 1]
+        pool.start()
+        pool.drain(timeout=10)
+        recovered = pool.submit(np.ones(3))  # budget restored
+        recovered.result(timeout=10)
+        pool.close(timeout=10)
+        assert all(p.done() for p in direct + routed)
+        assert pool.stats.requests == 5 and pool.stats.rejected == 4
 
     def test_close_sweeps_past_a_failing_engine(self):
         """Regression: one engine's close() raising a non-timeout error
@@ -280,16 +311,19 @@ class TestAutoscalingPool:
         """A scale-down must never drop accepted work: the retired
         engine answers its queue before its lease is returned."""
         cache = ArtifactCache()
+        # scale_down_depth must clear the victim's 3 still-queued
+        # requests (mean depth (0 + 3) / 2 = 1.5 over 2 engines), or
+        # the "down" decision races against the victim draining first.
         policy = AutoscalePolicy(
-            min_engines=1, max_engines=2, scale_up_depth=2.0,
-            scale_down_depth=1.0, **MANUAL
+            min_engines=1, max_engines=2, scale_up_depth=4.0,
+            scale_down_depth=1.6, **MANUAL
         )
         pool = AutoscalingEnginePool(
             mlp_artifact, cache, policy=policy,
             batch_window_s=0.0, autostart=False,
         )
         first = [pool.submit(np.zeros((3, 8, 8))) for _ in range(4)]
-        pool._consider_scaling()  # up to 2 engines
+        pool._consider_scaling()  # up to 2 engines (depth 4 >= 4.0)
         # Load the *newest* engine (the scale-down victim) directly.
         victim_engine = pool.engines[-1]
         queued = [victim_engine.submit(np.zeros((3, 8, 8))) for _ in range(3)]

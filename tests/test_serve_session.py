@@ -1,11 +1,15 @@
 """Tests for repro.serve.session: the synchronous serving facade."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.serve import (
     ArtifactCache,
+    AutoscalePolicy,
     EngineClosed,
+    QueueFull,
     ServeConfig,
     ServingSession,
     compile_artifact,
@@ -217,3 +221,94 @@ class TestLifecycle:
             session.predict(np.zeros((3, 8, 8)))
             stats = session.stats
         assert stats.requests == 1 and stats.completed == 1
+
+
+class TestCloseIdempotency:
+    """Repeated close() is a contractual no-op, any drain flag, any
+    pool shape — a drained, closed session closing again must not
+    raise (regression for the __exit__/manual-close combination)."""
+
+    def test_drained_closed_session_closes_again(self, artifact):
+        session = ServingSession(artifact)
+        session.predict(np.zeros((3, 8, 8)))
+        session.drain(timeout=10)
+        session.close()
+        session.close()
+        session.close(drain=False)
+        session.close(timeout=10)
+
+    def test_manual_close_then_context_exit(self, artifact):
+        with ServingSession(artifact) as session:
+            session.predict(np.zeros((3, 8, 8)))
+            session.close()
+        # __exit__ ran close(drain=True) on the closed session: no raise.
+
+    def test_exceptional_exit_after_manual_close(self, artifact):
+        with pytest.raises(RuntimeError, match="sentinel"):
+            with ServingSession(artifact) as session:
+                session.close()
+                raise RuntimeError("sentinel")
+        # __exit__ ran close(drain=False) on the closed session: the
+        # original exception propagated, not a close()-era one.
+
+    def test_path_source_releases_leases_exactly_once(
+        self, quantized_mlp_factory, tmp_path
+    ):
+        model, manifest = quantized_mlp_factory()
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache()
+        session = ServingSession(path, config=ServeConfig(engines=2), cache=cache)
+        session.close()
+        assert cache.stats.releases == 2
+        session.close()
+        session.close(drain=False)
+        assert cache.stats.releases == 2  # later closes never re-release
+
+    def test_autoscaled_session_double_close(self, artifact):
+        policy = AutoscalePolicy(min_engines=2, max_engines=3, interval_s=0.01)
+        session = ServingSession(artifact, config=ServeConfig(autoscale=policy))
+        session.predict(np.zeros((3, 8, 8)))
+        session.close()
+        session.close()
+
+    def test_never_started_session_double_close(self, artifact):
+        for drain in (True, False):
+            session = ServingSession(artifact, config=ServeConfig(autostart=False))
+            session.submit(np.zeros((3, 8, 8)))
+            session.close(drain=drain)
+            session.close(drain=drain)
+            session.close(drain=not drain)
+
+
+class TestSessionAdmission:
+    def test_max_pending_flows_to_engines(self, artifact):
+        config = ServeConfig(autostart=False, max_pending=1, engines=2)
+        session = ServingSession(artifact, config=config)
+        try:
+            assert [e.max_pending for e in session.engines] == [1, 1]
+            session.submit(np.zeros((3, 8, 8)))
+            session.submit(np.zeros((3, 8, 8)))
+            with pytest.raises(QueueFull, match="max_pending=1"):
+                session.submit(np.zeros((3, 8, 8)))
+            assert session.stats.rejected == 2  # both engines shed once
+        finally:
+            session.close(drain=False)
+
+    def test_autoscaled_replacements_inherit_budget(self, artifact):
+        policy = AutoscalePolicy(min_engines=1, max_engines=2, interval_s=0.01)
+        config = ServeConfig(autoscale=policy, max_pending=7)
+        session = ServingSession(artifact, config=config)
+        try:
+            session.pool.chaos_kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                engines = [e for e in session.engines if not e.worker_died]
+                if engines and all(e.max_pending == 7 for e in engines):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("no live replacement engine appeared")
+            assert all(e.max_pending == 7 for e in engines)
+        finally:
+            session.close()
