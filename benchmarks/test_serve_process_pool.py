@@ -1,0 +1,136 @@
+"""Process-pool scaling benchmark: the GIL-escape guard.
+
+Serves a uniform-2-bit VGG-small artifact over the same 192-request
+trace twice — once from a 4-engine *thread* pool (GIL-bound: numpy
+releases the GIL inside kernels but the pure-python forward glue
+serializes) and once from a 4-worker *process* pool mapping one
+shared-memory artifact copy — and asserts the engineering contract of
+``repro.serve.procpool``:
+
+* process-backed serving reaches **>= 1.5x** the thread-pool
+  throughput at 4 workers (real parallel forwards vs interleaved ones),
+* every answer from both pools is bit-exact under ``verify_replay``
+  with ``expected=N`` (full coverage, zero drops),
+* the shared segment is unlinked after ``close()`` — no shm leak.
+
+Skipped on hosts with fewer than 4 CPUs: with workers time-slicing a
+core the ratio measures the scheduler, not the serving design.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.render import ascii_table
+from repro.experiments.presets import get_dataset
+from repro.serve import (
+    ReplayRun,
+    ServeConfig,
+    ServingSession,
+    SharedArtifactSegment,
+    cycle_inputs,
+    verify_replay,
+)
+from repro.serve.replay import build_uniform_artifact
+
+REQUESTS = 192
+WORKERS = 4
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"needs >= {WORKERS} CPUs for a meaningful scaling ratio",
+)
+
+
+def _timed_replay(artifact, inputs, config):
+    """Serve the whole trace, returning (wall_s, verified, session_facts)."""
+    session = ServingSession(artifact, config=config)
+    try:
+        started = time.perf_counter()
+        pendings = [session.submit(x) for x in inputs]
+        outputs = np.stack([pending.result(timeout=120) for pending in pendings])
+        wall = time.perf_counter() - started
+        run = ReplayRun(
+            payload={}, outputs=outputs,
+            request_ids=[pending.request_id for pending in pendings],
+            engine_indices=[pending.engine_index for pending in pendings],
+        )
+        verified = verify_replay(session, inputs, run, expected=REQUESTS)
+    finally:
+        session.close()
+    # Post-close shm accounting (segment must be unlinked by now).
+    shm = (
+        session.pool.shm_stats() if hasattr(session.pool, "shm_stats") else None
+    )
+    return wall, verified, shm
+
+
+def test_process_pool_outscales_thread_pool(benchmark):
+    artifact = build_uniform_artifact(
+        model="vgg-small", dataset="synth10", scale="tiny", seed=0, bits=2
+    )
+    dataset = get_dataset("synth10", scale="tiny", seed=0)
+    inputs = cycle_inputs(dataset.test_images, REQUESTS)
+
+    thread_config = ServeConfig(
+        batch_window_s=0.002, max_batch_size=8,
+        record_batches=True, engines=WORKERS,
+    )
+    process_config = ServeConfig(
+        batch_window_s=0.002, max_batch_size=8,
+        record_batches=True, pool="process", workers=WORKERS,
+    )
+
+    def run_both():
+        # Interleave rounds and keep each mode's best wall time: the
+        # guard measures the transport design, not scheduler noise.
+        thread_rounds = []
+        process_rounds = []
+        for _ in range(2):
+            thread_rounds.append(_timed_replay(artifact, inputs, thread_config))
+            process_rounds.append(_timed_replay(artifact, inputs, process_config))
+        return (
+            min(thread_rounds, key=lambda round_: round_[0]),
+            min(process_rounds, key=lambda round_: round_[0]),
+        )
+
+    (thread_wall, thread_verified, _), (
+        process_wall,
+        process_verified,
+        process_shm,
+    ) = run_once(benchmark, run_both)
+
+    thread_rps = REQUESTS / thread_wall
+    process_rps = REQUESTS / process_wall
+    speedup = process_rps / thread_rps
+    print()
+    print(
+        ascii_table(
+            ["pool", "workers", "wall s", "req/s"],
+            [
+                ["thread", WORKERS, round(thread_wall, 3), round(thread_rps, 1)],
+                ["process", WORKERS, round(process_wall, 3), round(process_rps, 1)],
+            ],
+            title=f"VGG-small serving transport (x{speedup:.2f} from processes)",
+        )
+    )
+
+    # -------- correctness: both transports fully bit-exact -------------
+    assert thread_verified == REQUESTS
+    assert process_verified == REQUESTS
+
+    # -------- no shm leak after close() --------------------------------
+    assert process_shm is not None and process_shm["unlinked"]
+    with pytest.raises(FileNotFoundError):
+        SharedArtifactSegment.attach(
+            process_shm["segment"], int(process_shm["nbytes"])
+        )
+
+    # -------- the scaling guard: >= 1.5x -------------------------------
+    assert speedup >= 1.5, (
+        f"process-pool serving only reached x{speedup:.2f} of thread-pool "
+        f"throughput ({process_rps:.1f} vs {thread_rps:.1f} req/s)"
+    )

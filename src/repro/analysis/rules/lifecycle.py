@@ -1,11 +1,20 @@
-"""thread-lifecycle: every started Thread is daemonized or joined.
+"""thread-lifecycle: started workers are daemonized or joined.
 
 A non-daemon thread with no reachable ``.join()`` keeps the process
 alive after main exits — in this repo that turns a failed serve run
-into a hung CI job. A ``threading.Thread(...)`` construction passes if:
+into a hung CI job. Worker *processes* are worse: an unjoined
+``multiprocessing.Process`` handle leaks a zombie (and, for a
+shared-memory worker, can pin its mappings), and a raw ``os.fork()``
+bypasses every lifecycle guarantee ``multiprocessing`` provides
+(atexit handlers, resource tracking, join semantics), so it is flagged
+unconditionally.
+
+A ``threading.Thread(...)`` or ``multiprocessing.Process(...)``
+construction (including ``ctx.Process(...)`` on a multiprocessing
+context object) passes if:
 
 * it is created with ``daemon=True``, or
-* its enclosing function (or the enclosing class, for threads stashed
+* its enclosing function (or the enclosing class, for workers stashed
   on ``self`` and joined from another method, e.g. ``close()``) also
   contains a ``.join()`` call or a ``.daemon = True`` assignment.
 
@@ -44,7 +53,8 @@ def _has_join_or_daemonize(scope: ast.AST) -> bool:
 class ThreadLifecycleRule(Rule):
     id = "thread-lifecycle"
     description = (
-        "every threading.Thread must be daemon=True or reachably joined"
+        "every threading.Thread / multiprocessing.Process must be "
+        "daemon=True or reachably joined; raw os.fork is forbidden"
     )
 
     def check(self, ctx: FileContext) -> List[Finding]:
@@ -54,19 +64,29 @@ class ThreadLifecycleRule(Rule):
 
     def _walk(self, ctx, node, scope_stack, findings) -> None:
         for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.Call) and ctx.dotted(child.func) == (
-                "threading.Thread"
-            ):
-                if not self._is_daemon(child) and not self._joined_nearby(
-                    scope_stack
-                ):
+            if isinstance(child, ast.Call):
+                worker = self._worker_kind(ctx, child)
+                if worker is not None:
+                    if not self._is_daemon(child) and not self._joined_nearby(
+                        scope_stack
+                    ):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                child,
+                                f"{worker} created without daemon=True "
+                                "and no .join() in the enclosing scope; "
+                                "daemonize it or join it",
+                            )
+                        )
+                elif ctx.dotted(child.func) == "os.fork":
                     findings.append(
                         self.finding(
                             ctx,
                             child,
-                            "threading.Thread created without daemon=True "
-                            "and no .join() in the enclosing scope; "
-                            "daemonize it or join it",
+                            "raw os.fork() bypasses multiprocessing's "
+                            "lifecycle guarantees (join semantics, resource "
+                            "tracking); use multiprocessing.Process",
                         )
                     )
             push = isinstance(
@@ -77,6 +97,26 @@ class ThreadLifecycleRule(Rule):
             self._walk(ctx, child, scope_stack, findings)
             if push:
                 scope_stack.pop()
+
+    @staticmethod
+    def _worker_kind(ctx, call: ast.Call) -> Optional[str]:
+        """``"threading.Thread"`` / ``"multiprocessing.Process"`` for a
+        worker construction, else None.
+
+        Process constructions are also recognized structurally — any
+        ``<expr>.Process(...)`` attribute call — because they are
+        routinely made on a ``multiprocessing.get_context(...)`` object
+        (``ctx.Process(...)``), which import-alias resolution cannot
+        see through.
+        """
+        name = ctx.dotted(call.func)
+        if name == "threading.Thread":
+            return "threading.Thread"
+        if name == "multiprocessing.Process":
+            return "multiprocessing.Process"
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "Process":
+            return "multiprocessing.Process"
+        return None
 
     @staticmethod
     def _is_daemon(call: ast.Call) -> bool:
@@ -96,7 +136,7 @@ class ThreadLifecycleRule(Rule):
                 break
         if function is not None and _has_join_or_daemonize(function):
             return True
-        # Threads stashed on self are often joined from a sibling
+        # Workers stashed on self are often joined from a sibling
         # method (close/stop); accept a join anywhere in the class.
         for scope in reversed(scope_stack):
             if isinstance(scope, ast.ClassDef):

@@ -166,6 +166,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "private model clone leased from the cache)",
     )
     serve.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="serve from this many worker processes mapping one "
+        "shared-memory copy of the artifact (true parallel forwards; "
+        "0 = in-process thread engines); excludes --engines/--autoscale",
+    )
+    serve.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -227,7 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos",
         action="store_true",
         help="kill one engine's worker mid-trace to exercise lease release, "
-        "re-lease and request re-dispatch (needs --autoscale)",
+        "re-lease and request re-dispatch (needs --autoscale or --processes)",
     )
     serve.add_argument(
         "--backend",
@@ -572,13 +580,26 @@ def _run_serve(args) -> int:
     if args.engines < 1:
         print(f"serve: --engines must be >= 1, got {args.engines}", file=sys.stderr)
         return 2
+    if args.processes < 0:
+        print(
+            f"serve: --processes must be >= 0, got {args.processes}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.processes and (args.autoscale or args.engines != 1):
+        print(
+            "serve: --processes replaces the thread fan-out; drop "
+            "--engines/--autoscale",
+            file=sys.stderr,
+        )
+        return 2
     if (args.autoscale or args.chaos) and args.trace is None:
         print("serve: --autoscale/--chaos need --trace", file=sys.stderr)
         return 2
-    if args.chaos and not args.autoscale:
+    if args.chaos and not args.autoscale and not args.processes:
         print(
-            "serve: --chaos needs --autoscale (the supervisor recovers the "
-            "killed engine)",
+            "serve: --chaos needs a supervised pool (--autoscale or "
+            "--processes) to recover the killed worker",
             file=sys.stderr,
         )
         return 2
@@ -611,6 +632,8 @@ def _run_serve(args) -> int:
                 engines=1 if policy is not None else args.engines,
                 autoscale=policy,
                 backend=args.backend,
+                pool="process" if args.processes else "thread",
+                workers=args.processes or 2,
             ),
             cache=cache,
         )
@@ -620,15 +643,20 @@ def _run_serve(args) -> int:
             dataset = get_dataset(manifest.dataset, scale=manifest.scale, seed=manifest.seed)
             count = args.requests if trace is None else trace.rows
             inputs = cycle_inputs(dataset.test_images, count)
+            fanout_note = (
+                f"{args.processes} worker process(es)"
+                if args.processes
+                else f"{args.engines} engine(s)"
+            )
             load_note = (
                 f"replaying {len(inputs)} requests from {args.concurrency} "
-                f"clients across {args.engines} engine(s)"
+                f"clients across {fanout_note}"
                 if trace is None
                 else trace.describe()
                 + (
                     f"; autoscale {args.engines}..{args.max_engines}"
                     if args.autoscale
-                    else f"; {args.engines} engine(s)"
+                    else f"; {fanout_note}"
                 )
             )
             if args.backend != "float":

@@ -267,12 +267,29 @@ class GatewayReplayClient:
         self._closed = False
 
     # -- the duck-typed surface replay_trace drives --------------------
+    supports_chaos = False
+    """No chaos hook over the wire: engine deaths live on the server,
+    behind its own pool supervisor, not on this handle."""
+
     @property
     def pool(self) -> "GatewayReplayClient":
-        """Replay's autoscale probe (`isinstance(pool,
-        AutoscalingEnginePool)`) is False here: scale events live on the
-        server and come back via ``/v1/stats``, not this handle."""
+        """The replay reporter's pool probe: this handle answers the
+        :class:`~repro.serve.pool.EnginePool` introspection surface
+        itself (``supports_chaos``/``describe_scaling``/
+        ``peak_engines``); scale events live on the server and come
+        back via ``/v1/stats``, not here."""
         return self
+
+    @property
+    def peak_engines(self) -> int:
+        """Current server-side engine count (the wire does not replay
+        the server's high-water mark)."""
+        return len(self.engines)
+
+    def describe_scaling(self) -> None:
+        """Server-side scaling is reported via ``/v1/stats``, not the
+        replay payload."""
+        return None
 
     @property
     def engines(self) -> Tuple[_WireEngine, ...]:

@@ -6,7 +6,8 @@ name — through the content-hash :class:`~repro.serve.artifact.ArtifactCache`,
 so two names pointing at the same bytes share one parsed artifact and
 every engine leases a private clone. Each entry carries its own
 serving configuration (``backend`` / ``engines`` / ``autoscale`` /
-``max_pending``) and its own **admission budget**: the most input rows
+``pool``/``workers`` for process-backed serving / ``max_pending``) and
+its own **admission budget**: the most input rows
 allowed admitted-but-unanswered at once, shed with
 :class:`AdmissionRejected` (the gateway's HTTP 429) instead of growing
 the queue without bound.
@@ -26,7 +27,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.serve.artifact import ArtifactCache, ServingArtifact
-from repro.serve.pool import AutoscalePolicy, AutoscalingEnginePool
+from repro.serve.pool import AutoscalePolicy
 from repro.serve.session import ServeConfig, ServingSession
 
 #: Default per-artifact admission budget (input rows admitted but not
@@ -71,6 +72,14 @@ class ArtifactSpec:
     max_pending: Optional[int] = None
     """Per-engine admission budget (:class:`~repro.serve.engine.QueueFull`)."""
 
+    pool: str = "thread"
+    """Where this artifact's engines run: ``"thread"`` (in-process) or
+    ``"process"`` (a :class:`~repro.serve.procpool.ProcessEnginePool`
+    of ``workers`` worker processes over one shared-memory artifact)."""
+
+    workers: int = 2
+    """Worker-process fan-out when ``pool == "process"``."""
+
     pending_budget: int = DEFAULT_PENDING_BUDGET
     """Gateway-level budget: rows admitted but unanswered, per artifact."""
 
@@ -84,10 +93,16 @@ class ArtifactSpec:
             batch_window_s=self.batch_window_s,
             max_batch_size=self.max_batch_size,
             record_batches=self.record_batches,
-            engines=1 if self.autoscale is not None else self.engines,
+            engines=(
+                1
+                if self.autoscale is not None or self.pool == "process"
+                else self.engines
+            ),
             autoscale=self.autoscale,
             backend=self.backend,
             max_pending=self.max_pending,
+            pool=self.pool,
+            workers=self.workers,
         )
 
     def describe(self) -> Dict[str, object]:
@@ -108,6 +123,8 @@ class ArtifactSpec:
                 None if self.max_pending is None else int(self.max_pending)
             ),
             "pending_budget": int(self.pending_budget),
+            "pool": self.pool,
+            "workers": int(self.workers),
         }
 
 
@@ -366,15 +383,19 @@ class ArtifactRegistry:
             if session is not None:
                 document["serve"] = session.stats.to_dict()
                 document["engines"] = len(session.engines)
-                pool = session.pool
-                if isinstance(pool, AutoscalingEnginePool):
+                # Pools self-describe through the EnginePool interface —
+                # no isinstance branching on which transport is serving.
+                scaling = session.pool.describe_scaling()
+                if scaling is not None and scaling.get("enabled"):
                     document["autoscale"] = {
-                        "policy": pool.policy.to_dict(),
-                        "peak_engines": int(pool.peak_engines),
-                        "events": [
-                            event.to_dict() for event in pool.scale_events()
-                        ],
+                        "policy": scaling["policy"],
+                        "peak_engines": int(session.pool.peak_engines),
+                        "events": scaling["events"],
                     }
+                elif scaling is not None:
+                    document["supervision"] = dict(
+                        scaling, peak_engines=int(session.pool.peak_engines)
+                    )
             artifacts[name] = document
         cache_stats = self.cache.stats
         return {

@@ -57,6 +57,8 @@ def run_point(
     workers: int = 8,
     pending_budget: int = 256,
     compare_inprocess: bool = True,
+    pool: str = "thread",
+    pool_workers: int = 2,
 ) -> Dict[str, object]:
     """One gateway-replay grid point (a runner-unit target).
 
@@ -69,7 +71,19 @@ def run_point(
     separate session built from the same artifact and serve config,
     yielding ``overhead.wall_ratio`` (wire wall-clock over in-process
     wall-clock).
+
+    ``pool="process"`` serves the artifact behind the gateway from
+    ``pool_workers`` worker processes over one shared-memory copy
+    (:class:`~repro.serve.procpool.ProcessEnginePool`); the HTTP
+    surface, admission control and parity verification are unchanged —
+    the registry consumes the pool through the same
+    :class:`~repro.serve.pool.EnginePool` interface.
     """
+    if pool == "process" and autoscale:
+        raise ValueError(
+            "process pools are supervised but not autoscaled; pick "
+            "pool='process' or autoscale=True, not both"
+        )
     artifact = build_uniform_artifact(
         model=model, dataset=dataset, scale=scale, seed=seed, bits=bits
     )
@@ -103,6 +117,8 @@ def run_point(
         max_batch_size=int(max_batch_size),
         record_batches=True,
         pending_budget=int(pending_budget),
+        pool=pool,
+        workers=int(pool_workers),
     )
     registry = ArtifactRegistry()
     registry.register(spec, preload=True)
@@ -153,6 +169,8 @@ def run_point(
         "max_engines": int(max_engines),
         "workers": int(workers),
         "pending_budget": int(pending_budget),
+        "pool": pool,
+        "pool_workers": int(pool_workers),
         "artifact_nbytes": int(artifact.nbytes),
         "admission": gateway_stats["admission"],
         "wire": run.payload,
@@ -164,9 +182,15 @@ def run_point(
                 batch_window_s=float(batch_window_ms) / 1e3,
                 max_batch_size=int(max_batch_size),
                 record_batches=True,
-                engines=1 if policy is not None else int(pool_size),
+                engines=(
+                    1
+                    if policy is not None or pool == "process"
+                    else int(pool_size)
+                ),
                 autoscale=policy,
                 backend=backend,
+                pool=pool,
+                workers=int(pool_workers),
             ),
         )
         try:

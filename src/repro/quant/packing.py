@@ -146,9 +146,18 @@ class ByteReader:
     Shared by the CQW1 frame parser below and by container formats that
     append further sections after the frames (the serving sidecar in
     :mod:`repro.serve.artifact`).
+
+    Accepts any C-contiguous byte buffer (``bytes``, ``memoryview``,
+    ``bytearray``, an ``mmap`` …). Slices returned by :meth:`take_bytes`
+    are zero-copy views into the backing buffer whenever the buffer
+    supports it (everything except ``bytes``), which is what lets the
+    serving layer parse artifacts straight out of shared memory without
+    a private copy.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data):
+        if not isinstance(data, (bytes, memoryview)):
+            data = memoryview(data)
         self.data = data
         self.offset = 0
 
@@ -160,7 +169,14 @@ class ByteReader:
         self.offset += size
         return values
 
-    def take_bytes(self, count: int) -> bytes:
+    def take_bytes(self, count: int):
+        """Read ``count`` raw bytes (a zero-copy slice of the buffer).
+
+        The return type mirrors the backing buffer: ``bytes`` in, slice
+        of ``bytes`` out; ``memoryview`` in, sub-view out. Callers that
+        need a real ``bytes`` object (e.g. to ``.decode()``) must wrap
+        the result in ``bytes(...)`` themselves.
+        """
         chunk = self.data[self.offset : self.offset + count]
         if len(chunk) != count:
             raise ValueError("truncated bitstream")
@@ -177,7 +193,7 @@ _Reader = ByteReader
 
 def _unpack_layer(reader: ByteReader) -> LayerExport:
     (name_len,) = reader.take("<H")
-    name = reader.take_bytes(name_len).decode("utf-8")
+    name = bytes(reader.take_bytes(name_len)).decode("utf-8")
     (ndim,) = reader.take("<B")
     shape = reader.take(f"<{ndim}I")
     lower, upper = reader.take("<dd")
@@ -242,9 +258,10 @@ def deserialize_export(data: bytes) -> QuantizedExport:
     The unquantized-layer accounting is not stored in the stream (it is
     a reporting figure, not deployable payload), so it reads back as 0.
     Trailing bytes after the layer frames are ignored (containers may
-    append sidecar sections).
+    append sidecar sections). ``data`` may be any byte buffer; views
+    are parsed in place without a private copy.
     """
-    return read_export(ByteReader(bytes(data)))
+    return read_export(ByteReader(data))
 
 
 def write_bitstream(export: QuantizedExport, path) -> int:

@@ -190,6 +190,8 @@ def serve_replay_units(
     max_engines: int = 4,
     chaos: bool = False,
     backend: str = "float",
+    pool: str = "thread",
+    workers: int = 2,
 ) -> List[UnitSpec]:
     """One serving-benchmark unit per ``(bits, seed)`` grid point.
 
@@ -207,7 +209,10 @@ def serve_replay_units(
     load and stays honest under the content-key result cache.
     ``backend="integer"`` serves the packed codes with integer MACs
     (``-int`` name suffix) and adds the rescale-bound parity check to
-    every replayed request.
+    every replayed request. ``pool="process"`` serves the batched
+    replay from ``workers`` worker processes over one shared-memory
+    artifact (``-procN`` name suffix; supervised, so ``chaos`` works
+    without ``autoscale``).
     """
     units = []
     for bit in bits:
@@ -217,6 +222,8 @@ def serve_replay_units(
                 suffix += f"-{trace}"
             if autoscale:
                 suffix += f"-auto{int(max_engines)}"
+            if pool == "process":
+                suffix += f"-proc{int(workers)}"
             if chaos:
                 suffix += "-chaos"
             if backend != "float":
@@ -242,6 +249,8 @@ def serve_replay_units(
                         "max_engines": int(max_engines),
                         "chaos": bool(chaos),
                         "backend": str(backend),
+                        "pool": str(pool),
+                        "workers": int(workers),
                     },
                     render="repro.serve.replay:render",
                 )
@@ -267,6 +276,8 @@ def gateway_replay_units(
     backend: str = "float",
     workers: int = 8,
     pending_budget: int = 256,
+    pool: str = "thread",
+    pool_workers: int = 2,
 ) -> List[UnitSpec]:
     """One over-the-wire serving unit per ``(bits, seed)`` grid point.
 
@@ -276,6 +287,8 @@ def gateway_replay_units(
     threads, verify every wire-served answer against the server-side
     session (bit-exact float, rescale-bounded integer), and archive the
     latency/SLO report plus the HTTP-vs-in-process overhead ratio.
+    ``pool="process"`` puts ``pool_workers`` worker processes behind
+    the gateway (``-procN`` name suffix) instead of thread engines.
     """
     units = []
     for bit in bits:
@@ -285,6 +298,8 @@ def gateway_replay_units(
                 suffix += f"-{trace}"
             if autoscale:
                 suffix += f"-auto{int(max_engines)}"
+            if pool == "process":
+                suffix += f"-proc{int(pool_workers)}"
             if backend != "float":
                 suffix += "-int" if backend == "integer" else f"-{backend}"
             units.append(
@@ -309,6 +324,8 @@ def gateway_replay_units(
                         "backend": str(backend),
                         "workers": int(workers),
                         "pending_budget": int(pending_budget),
+                        "pool": str(pool),
+                        "pool_workers": int(pool_workers),
                     },
                     render="repro.gateway.replay:render",
                 )

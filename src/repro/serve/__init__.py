@@ -14,7 +14,10 @@ number of leased engines serving one artifact.
 (``ServeConfig.engines`` picks the fan-out, or
 ``ServeConfig.autoscale`` hands the fan-out to an
 :class:`~repro.serve.pool.AutoscalingEnginePool` driven by queue
-depth); :mod:`~repro.serve.replay` generates request-replay load —
+depth, or ``ServeConfig.pool = "process"`` to a
+:class:`~repro.serve.procpool.ProcessEnginePool` of worker processes
+executing straight from one shared-memory copy of the artifact);
+:mod:`~repro.serve.replay` generates request-replay load —
 closed-loop clients or seeded open-loop
 :class:`~repro.serve.trace.TrafficTrace` arrivals — and the sweepable
 ``serve-replay`` benchmark unit. ``ServeConfig(backend="integer")``
@@ -40,9 +43,11 @@ from repro.serve.artifact import (
     compile_artifact,
     load_artifact,
     load_artifact_bytes,
+    map_artifact_file,
     save_artifact,
     serialize_artifact,
 )
+from repro.serve.artifact import SharedArtifactSegment
 from repro.serve.engine import (
     EngineClosed,
     EngineDied,
@@ -66,9 +71,11 @@ from repro.serve.pool import (
     AutoscaleDecider,
     AutoscalePolicy,
     AutoscalingEnginePool,
+    EnginePool,
     ScaleEvent,
     ServingEnginePool,
 )
+from repro.serve.procpool import ProcessEnginePool, ProcessWorkerHandle
 from repro.serve.replay import (
     ReplayRun,
     cycle_inputs,
@@ -97,12 +104,15 @@ __all__ = [
     "DEFAULT_SIDECAR_DTYPE",
     "EngineClosed",
     "EngineDied",
+    "EnginePool",
     "INTEGER_PARITY_SAFETY",
     "InferenceEngine",
     "IntegerBackendParityError",
     "IntegerServingModel",
     "ModelLease",
     "PendingPrediction",
+    "ProcessEnginePool",
+    "ProcessWorkerHandle",
     "QueueFull",
     "ReplayRun",
     "RequestCancelled",
@@ -110,6 +120,7 @@ __all__ = [
     "ScaleEvent",
     "ServeConfig",
     "ServeStats",
+    "SharedArtifactSegment",
     "ServingArtifact",
     "ServingEnginePool",
     "ServingSession",
@@ -128,6 +139,7 @@ __all__ = [
     "integer_parity_rtol",
     "load_artifact",
     "load_artifact_bytes",
+    "map_artifact_file",
     "render_replay",
     "render_trace_replay",
     "replay_requests",

@@ -53,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import mmap
 import struct
 import threading
 from collections import OrderedDict
@@ -228,14 +229,14 @@ def _unpack_sidecar(reader: ByteReader):
     tagged = magic == SIDECAR_MAGIC_V2
     (manifest_len,) = reader.take("<I")
     manifest = ArtifactManifest.from_dict(
-        json.loads(reader.take_bytes(manifest_len).decode("utf-8"))
+        json.loads(bytes(reader.take_bytes(manifest_len)).decode("utf-8"))
     )
     (tensor_count,) = reader.take("<I")
     state: "OrderedDict[str, np.ndarray]" = OrderedDict()
     seen_dtypes = set()
     for _ in range(tensor_count):
         (name_len,) = reader.take("<H")
-        name = reader.take_bytes(name_len).decode("utf-8")
+        name = bytes(reader.take_bytes(name_len)).decode("utf-8")
         if tagged:
             (tag,) = reader.take("<B")
             dtype = dtype_from_tag(tag)
@@ -275,8 +276,20 @@ class ServingArtifact:
     """SHA-256 (truncated) of the serialized bytes — the cache identity."""
 
     nbytes: int = 0
-    data: Optional[bytes] = field(default=None, repr=False)
-    """The exact serialized bytes this artifact was parsed from."""
+    data: Optional[Union[bytes, memoryview]] = field(default=None, repr=False)
+    """The exact serialized bytes this artifact was parsed from.
+
+    A ``bytes`` object for process-private loads; a ``memoryview`` over
+    the mapped backing (an ``mmap`` of the file or an attached
+    shared-memory segment) for zero-copy loads — the view keeps the
+    mapping alive, and the parse reads straight out of it.
+    """
+
+    shared_nbytes: int = 0
+    """Bytes of :attr:`data` backed by a shared mapping (mmap / shm)
+    rather than process-private memory. ``nbytes`` for zero-copy loads,
+    0 for plain byte loads; reconstructed float weights are always a
+    private copy per process and are not counted here."""
 
     payload_nbytes: int = 0
     """Bytes of the CQW1 frames (the paper's storage figure, physical)."""
@@ -354,6 +367,12 @@ class ServingArtifact:
             return self.clone_integer_model()
         raise ValueError(f"unknown serving backend {backend!r}")
 
+    @property
+    def private_nbytes(self) -> int:
+        """Process-private bytes of the serialized form (complement of
+        :attr:`shared_nbytes`)."""
+        return self.nbytes - self.shared_nbytes
+
     def size_breakdown(self) -> str:
         """One-line payload-vs-sidecar byte accounting."""
         return (
@@ -414,9 +433,22 @@ def save_artifact(
     return len(data)
 
 
-def load_artifact_bytes(data: bytes) -> ServingArtifact:
-    """Parse serialized artifact bytes (CQW1 frames + CQS1/CQS2 sidecar)."""
-    data = bytes(data)
+def load_artifact_bytes(data: Union[bytes, bytearray, memoryview]) -> ServingArtifact:
+    """Parse serialized artifact bytes (CQW1 frames + CQS1/CQS2 sidecar).
+
+    Zero-copy: a ``memoryview`` is parsed in place (and assumed to
+    reference a shared mapping — mmap'd file or shm segment — so the
+    artifact reports its bytes as :attr:`ServingArtifact.shared_nbytes`);
+    ``bytes`` are kept as-is without a defensive copy. A ``bytearray``
+    is snapshotted to ``bytes`` once, because the content key must not
+    be able to drift from the data after parse.
+    """
+    if isinstance(data, bytearray):
+        data = bytes(data)
+    elif isinstance(data, memoryview):
+        if data.format != "B" or data.ndim != 1:
+            data = data.cast("B")
+    shared = isinstance(data, memoryview)
     reader = ByteReader(data)
     export = read_export(reader)
     payload_nbytes = reader.offset
@@ -428,15 +460,137 @@ def load_artifact_bytes(data: bytes) -> ServingArtifact:
         content_key=hashlib.sha256(data).hexdigest()[:16],
         nbytes=len(data),
         data=data,
+        shared_nbytes=len(data) if shared else 0,
         payload_nbytes=payload_nbytes,
         sidecar_nbytes=len(data) - payload_nbytes,
         sidecar_dtype=sidecar_dtype,
     )
 
 
-def load_artifact(path: PathLike) -> ServingArtifact:
-    """Read and parse a serving artifact file (uncached; see ArtifactCache)."""
+def map_artifact_file(path: PathLike) -> memoryview:
+    """Map an artifact file read-only; returns a view over the mapping.
+
+    The returned ``memoryview`` keeps the underlying ``mmap`` alive (it
+    is reachable as ``view.obj``), so the mapping lasts exactly as long
+    as something references the view — typically the
+    :attr:`ServingArtifact.data` of a zero-copy load.
+    """
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return memoryview(mapped)
+
+
+def load_artifact(path: PathLike, mmap_mode: bool = False) -> ServingArtifact:
+    """Read and parse a serving artifact file (uncached; see ArtifactCache).
+
+    With ``mmap_mode=True`` the file is mapped read-only instead of
+    copied into process-private bytes: the parse reads straight out of
+    the page cache, N processes loading the same file share one
+    physical copy of the serialized form, and the artifact accounts its
+    bytes as shared (:attr:`ServingArtifact.shared_nbytes`).
+    """
+    if mmap_mode:
+        return load_artifact_bytes(map_artifact_file(path))
     return load_artifact_bytes(Path(path).read_bytes())
+
+
+class SharedArtifactSegment:
+    """One shared-memory segment holding an artifact's serialized bytes.
+
+    The parent serving process :meth:`create`\\ s the segment (one copy
+    of the bytes, into the segment, ever) and owns its name: it calls
+    :meth:`unlink` when the pool closes. Worker processes
+    :meth:`attach` by name and :meth:`load` the artifact zero-copy —
+    the CQW1/CQS2 parse reads straight out of the mapping, so N workers
+    share one physical copy of the serialized form while their
+    reconstructed float weights (or compiled integer specs) stay
+    process-private.
+
+    Attaching can unregister the segment from the worker's
+    ``resource_tracker`` (``untrack=True``): the parent owns the
+    lifetime, and in spawn/forkserver contexts — where workers get a
+    tracker daemon of their own — a dying worker's tracker would
+    otherwise unlink the name out from under its siblings (CPython's
+    bpo-38119 behaviour). Fork-context workers share the parent's
+    tracker daemon, whose registration set is idempotent, so they must
+    *not* untrack (that would cancel the parent's own registration).
+    """
+
+    def __init__(self, shm, nbytes: int, owner: bool):
+        self._shm = shm
+        self.nbytes = nbytes
+        """Logical byte length (the segment may be page-rounded)."""
+        self.owner = owner
+        """Whether this handle created the segment (and must unlink it)."""
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """The attachable system-wide segment name."""
+        return self._shm.name
+
+    @classmethod
+    def create(cls, data: Union[bytes, memoryview]) -> "SharedArtifactSegment":
+        """Create a segment and copy ``data`` into it (the one copy)."""
+        from multiprocessing import shared_memory
+
+        nbytes = len(data)
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        shm.buf[:nbytes] = data
+        return cls(shm, nbytes, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, nbytes: int, untrack: bool = False
+    ) -> "SharedArtifactSegment":
+        """Attach to an existing segment by name (worker side).
+
+        Pass ``untrack=True`` from spawn/forkserver workers only — see
+        the class docstring for the tracker-ownership rules.
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        if untrack:
+            try:  # parent owns the lifetime; see class docstring
+                resource_tracker.unregister(shm._name, "shared_memory")
+            # Best-effort against private stdlib API drift: a failed
+            # untrack only risks tracker noise, never correctness.
+            except Exception:  # repro: allow(bare-except)
+                pass
+        return cls(shm, nbytes, owner=False)
+
+    def view(self) -> memoryview:
+        """A zero-copy view of the artifact bytes inside the segment."""
+        return memoryview(self._shm.buf)[: self.nbytes]
+
+    def load(self) -> ServingArtifact:
+        """Parse the mapped bytes into a zero-copy artifact."""
+        return load_artifact_bytes(self.view())
+
+    def close(self) -> None:
+        """Release this process's mapping (best-effort).
+
+        Live views handed out by :meth:`view`/:meth:`load` keep the
+        mapping pinned; in that case the close is skipped — process
+        exit reclaims the mapping regardless, and :meth:`unlink` (the
+        part that matters system-wide) does not need it.
+        """
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # a loaded artifact still references the mapping
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side; idempotent).
+
+        Existing mappings survive until their processes drop them; new
+        attaches fail — the leak check in the pool tests asserts exactly
+        this after ``close()``.
+        """
+        if self.owner and not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
 
 
 def build_serving_model(
@@ -583,6 +737,14 @@ class ArtifactCacheStats:
     leases: int = 0
     releases: int = 0
 
+    shared_nbytes: int = 0
+    """Serialized bytes of resident entries backed by shared mappings
+    (mmap'd files / shm segments) — one physical copy system-wide."""
+
+    private_nbytes: int = 0
+    """Serialized bytes of resident entries held as process-private
+    ``bytes`` objects."""
+
     @property
     def loads(self) -> int:
         """Load calls answered; ``hits + misses + races`` by identity."""
@@ -592,7 +754,8 @@ class ArtifactCacheStats:
         return (
             f"artifact cache: {self.hits} hits, {self.misses} misses, "
             f"{self.races} races, {self.evictions} evictions, "
-            f"{self.leases} leases ({self.leases - self.releases} active)"
+            f"{self.leases} leases ({self.leases - self.releases} active), "
+            f"{self.shared_nbytes} shared / {self.private_nbytes} private bytes"
         )
 
 
@@ -673,12 +836,20 @@ class ArtifactCache:
         with self._lock:
             return len(self._entries)
 
-    def load(self, path: PathLike) -> ServingArtifact:
-        """Load ``path`` through the cache."""
+    def load(self, path: PathLike, mmap_mode: bool = False) -> ServingArtifact:
+        """Load ``path`` through the cache.
+
+        ``mmap_mode=True`` maps the file instead of copying it: the hash
+        (and, on a miss, the parse) read straight out of the page cache,
+        and a hit drops the mapping without ever having made a private
+        copy of the file.
+        """
+        if mmap_mode:
+            return self.load_bytes(map_artifact_file(path))
         return self.load_bytes(Path(path).read_bytes())
 
-    def load_bytes(self, data: bytes) -> ServingArtifact:
-        key = hashlib.sha256(bytes(data)).hexdigest()[:16]
+    def load_bytes(self, data: Union[bytes, bytearray, memoryview]) -> ServingArtifact:
+        key = hashlib.sha256(data).hexdigest()[:16]
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -695,6 +866,7 @@ class ArtifactCache:
                 return existing
             self._entries[key] = artifact
             self.stats.misses += 1
+            self._account_locked(artifact, 1)
             self._evict_locked()
         return artifact
 
@@ -725,7 +897,7 @@ class ArtifactCache:
         if isinstance(source, ServingArtifact):
             artifact = self._adopt(source)
         elif isinstance(source, (bytes, bytearray, memoryview)):
-            artifact = self.load_bytes(bytes(source))
+            artifact = self.load_bytes(source)
         elif isinstance(source, (str, Path)):
             artifact = self.load(source)
         else:
@@ -768,8 +940,14 @@ class ArtifactCache:
                 return existing
             self._entries[artifact.content_key] = artifact
             self.stats.misses += 1
+            self._account_locked(artifact, 1)
             self._evict_locked()
         return artifact
+
+    def _account_locked(self, artifact: ServingArtifact, sign: int) -> None:
+        """Track resident shared-vs-private serialized bytes."""
+        self.stats.shared_nbytes += sign * artifact.shared_nbytes
+        self.stats.private_nbytes += sign * artifact.private_nbytes
 
     def _release(self, key: str) -> None:
         with self._lock:
@@ -795,6 +973,7 @@ class ArtifactCache:
             )
             if victim is None:
                 break  # every entry is leased: overshoot rather than orphan
+            self._account_locked(self._entries[victim], -1)
             del self._entries[victim]
             self.stats.evictions += 1
 
@@ -802,6 +981,8 @@ class ArtifactCache:
         """Drop every cached entry (outstanding leases stay valid — they
         hold their own artifact and model references)."""
         with self._lock:
+            for artifact in self._entries.values():
+                self._account_locked(artifact, -1)
             self._entries.clear()
 
 

@@ -1,5 +1,15 @@
 """Multi-engine fan-out: N engines serving clones of one artifact.
 
+:class:`EnginePool` is the transport-agnostic execution interface —
+the exact surface :class:`~repro.serve.session.ServingSession`, the
+replay drivers, the gateway registry and the runner units consume
+(submit/drain/close/stats/engine_records plus the
+``supports_chaos``/``describe_scaling``/``peak_engines`` introspection
+hooks), so *where* an engine runs is a pluggable backend: the
+thread-backed pools below and the process-backed
+:class:`~repro.serve.procpool.ProcessEnginePool` are interchangeable
+everywhere a pool is consumed.
+
 :class:`ServingEnginePool` owns a set of
 :class:`~repro.serve.engine.InferenceEngine` instances — one per model
 clone, typically cut from a cached artifact with
@@ -78,67 +88,91 @@ class _EngineSlot:
         self.fate = "alive"  # alive | retired | died | closed
 
 
-class ServingEnginePool:
-    """Round-robin request fan-out over independently batched engines.
+class EnginePool:
+    """The engine-facing execution surface every pool consumer assumes.
 
-    Parameters mirror :class:`InferenceEngine`; each model in
-    ``models`` gets its own engine (and worker thread). The models must
-    be distinct objects — an engine's worker assumes exclusive
-    ownership of its model, which is exactly what copy-on-lease clones
-    provide.
+    :class:`~repro.serve.session.ServingSession`, the replay drivers,
+    the gateway registry and the runner units all consume pools through
+    exactly this interface — submit/drain/close/stats/engine_records
+    plus the introspection hooks below — so thread-backed and
+    process-backed pools are interchangeable everywhere a pool is
+    consumed, with no ``isinstance`` branching on the consumer side.
+
+    Subclasses construct their engines however they like (in-process
+    :class:`~repro.serve.engine.InferenceEngine` worker threads, worker
+    *processes* behind a pipe — anything duck-typing the engine surface:
+    ``submit``/``adopt``/``start``/``drain``/``close``/``stats``/
+    ``queue_depth``/``worker_died``/``take_orphans``/``input_dtype``)
+    and register them with :meth:`_add_slot_locked`; the fan-out,
+    drain/close sweeps, stats merging and orphan re-dispatch machinery
+    here is shared.
+
+    Interface hooks with safe defaults:
+
+    * ``supports_chaos`` — whether :meth:`chaos_kill` is wired to a
+      supervisor that recovers the death (re-dispatch + replacement).
+      Fixed thread pools say ``False``; autoscaled and process pools
+      say ``True``.
+    * :meth:`describe_scaling` — the JSON-able scaling report for
+      replay payloads (``None`` for pools with a fixed engine set).
+    * :attr:`peak_engines` / :meth:`scale_events` — high-water mark and
+      event log; meaningful defaults for fixed pools.
     """
 
-    def __init__(
-        self,
-        models: Sequence[Module],
-        batch_window_s: float = 0.002,
-        max_batch_size: int = 16,
-        record_batches: bool = False,
-        autostart: bool = True,
-        max_pending: Optional[int] = None,
-    ):
-        models = list(models)
-        if not models:
-            raise ValueError("pool needs at least one model")
-        if len(set(map(id, models))) != len(models):
-            raise ValueError(
-                "pool models must be distinct objects (lease one clone "
-                "per engine; engines assume exclusive ownership)"
-            )
-        self._batch_window_s = float(batch_window_s)
-        self._max_batch_size = int(max_batch_size)
-        self._record_batches = bool(record_batches)
-        self._max_pending = None if max_pending is None else int(max_pending)
-        """Per-engine admission budget handed to every engine the pool
-        ever stands up (initial, scale-up and death-replacement alike)."""
+    supports_chaos = False
+    """Whether :meth:`chaos_kill` exists *and* a supervisor turns the
+    death into recovery rather than stranded requests."""
+
+    def __init__(self, autostart: bool = True):
         self._started = bool(autostart)  # guarded-by: _lock
         self._lock = threading.Lock()
         self._next = 0  # guarded-by: _lock
         self._slots: List[_EngineSlot] = []  # guarded-by: _lock
         self._live: List[_EngineSlot] = []  # guarded-by: _lock
-        for model in models:
-            self._add_engine_locked(model)
+        self._peak_engines = 0  # guarded-by: _lock
 
-    def _add_engine_locked(self, model: Module, lease=None) -> _EngineSlot:
-        """Stand up one more engine and put it in the rotation.
+    def _add_slot_locked(self, engine, model, lease=None) -> _EngineSlot:
+        """Put one more engine in the rotation.
 
         Callers hold no pool state invariants across this; the slot
         index is allocated from the all-time slot list so retired and
         dead engines never have their identity reused.
         """
-        engine = InferenceEngine(
-            model,
-            batch_window_s=self._batch_window_s,
-            max_batch_size=self._max_batch_size,
-            record_batches=self._record_batches,
-            autostart=self._started,
-            max_pending=self._max_pending,
-        )
         with self._lock:
             slot = _EngineSlot(len(self._slots), engine, model, lease)
             self._slots.append(slot)
             self._live.append(slot)
+            self._peak_engines = max(self._peak_engines, len(self._live))
         return slot
+
+    # ------------------------------------------------------------------
+    # Introspection interface (overridden by supervised pools)
+    # ------------------------------------------------------------------
+    @property
+    def peak_engines(self) -> int:
+        """Most engines ever simultaneously live."""
+        with self._lock:
+            return self._peak_engines
+
+    def scale_events(self) -> List["ScaleEvent"]:
+        """Scaling/death event log (empty for fixed pools)."""
+        return []
+
+    def describe_scaling(self) -> Optional[Dict[str, object]]:
+        """JSON-able scaling report, or ``None`` for fixed pools.
+
+        This is what lets :func:`~repro.serve.replay.replay_trace`
+        report autoscale/supervision activity without knowing which
+        pool class it is driving.
+        """
+        return None
+
+    def chaos_kill(self, engine_index: Optional[int] = None) -> int:
+        """Kill a live engine's worker abruptly (supervised pools only)."""
+        raise RuntimeError(
+            f"{type(self).__name__} has no chaos hook — only supervised "
+            "pools (supports_chaos=True) can recover a killed worker"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -325,11 +359,52 @@ class ServingEnginePool:
                 + "; call close() again to keep waiting"
             )
 
-    def __enter__(self) -> "ServingEnginePool":
+    def __enter__(self) -> "EnginePool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Orphan rescue (shared by every supervised pool)
+    # ------------------------------------------------------------------
+    def _redispatch(self, dead_index: int, request) -> None:
+        """Re-dispatch one orphaned request of a dead engine.
+
+        Tries live engines round-robin via ``engine.adopt`` (the
+        request keeps its pending — the original caller's handle); if
+        none accepts, the pending is failed loudly with
+        :class:`EngineDied`. Either way the request is accounted for —
+        never silently dropped.
+        """
+        attempts = 0
+        while True:
+            with self._lock:
+                live = list(self._live)
+            if not live or attempts > len(live):
+                request.pending._finish(
+                    error=EngineDied(
+                        f"engine {dead_index} died and its request could "
+                        "not be re-dispatched (no live engine accepted it)"
+                    )
+                )
+                return
+            with self._lock:
+                if not self._live:
+                    continue
+                slot = self._live[self._next % len(self._live)]
+                self._next += 1
+            try:
+                slot.engine.adopt(request)
+            except EngineClosed:
+                attempts += 1
+                continue
+            request.pending.engine_index = slot.index
+            self._note_redispatch()
+            return
+
+    def _note_redispatch(self) -> None:
+        """Counter hook for subclasses that track re-dispatches."""
 
     # ------------------------------------------------------------------
     # Stats
@@ -347,6 +422,56 @@ class ServingEnginePool:
         with self._lock:
             slots = list(self._slots)
         return [slot.engine.stats for slot in slots]
+
+
+class ServingEnginePool(EnginePool):
+    """Round-robin request fan-out over independently batched engines.
+
+    Parameters mirror :class:`InferenceEngine`; each model in
+    ``models`` gets its own engine (and worker thread). The models must
+    be distinct objects — an engine's worker assumes exclusive
+    ownership of its model, which is exactly what copy-on-lease clones
+    provide.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Module],
+        batch_window_s: float = 0.002,
+        max_batch_size: int = 16,
+        record_batches: bool = False,
+        autostart: bool = True,
+        max_pending: Optional[int] = None,
+    ):
+        models = list(models)
+        if not models:
+            raise ValueError("pool needs at least one model")
+        if len(set(map(id, models))) != len(models):
+            raise ValueError(
+                "pool models must be distinct objects (lease one clone "
+                "per engine; engines assume exclusive ownership)"
+            )
+        self._batch_window_s = float(batch_window_s)
+        self._max_batch_size = int(max_batch_size)
+        self._record_batches = bool(record_batches)
+        self._max_pending = None if max_pending is None else int(max_pending)
+        """Per-engine admission budget handed to every engine the pool
+        ever stands up (initial, scale-up and death-replacement alike)."""
+        super().__init__(autostart=autostart)
+        for model in models:
+            self._add_engine_locked(model)
+
+    def _add_engine_locked(self, model: Module, lease=None) -> _EngineSlot:
+        """Stand up one more thread-backed engine in the rotation."""
+        engine = InferenceEngine(
+            model,
+            batch_window_s=self._batch_window_s,
+            max_batch_size=self._max_batch_size,
+            record_batches=self._record_batches,
+            autostart=self._started,
+            max_pending=self._max_pending,
+        )
+        return self._add_slot_locked(engine, model, lease)
 
 
 # ----------------------------------------------------------------------
@@ -477,6 +602,8 @@ class AutoscalingEnginePool(ServingEnginePool):
     path's test hook — also exposed as ``repro serve --chaos``).
     """
 
+    supports_chaos = True
+
     def __init__(
         self,
         artifact,
@@ -503,7 +630,6 @@ class AutoscalingEnginePool(ServingEnginePool):
         # GIL-atomic list/dict snapshots. _pool_closing is a monotonic
         # flag. None of them needs _lock — deliberately undeclared.
         self._events: List[ScaleEvent] = []
-        self._peak_engines = policy.min_engines  # guarded-by: _lock
         self._counters = {"ups": 0, "downs": 0, "deaths": 0, "redispatched": 0}
         self._pool_closing = False
         self._supervisor_error: Optional[BaseException] = None
@@ -594,7 +720,6 @@ class AutoscalingEnginePool(ServingEnginePool):
                 replace_error = exc
             else:
                 with self._lock:
-                    self._peak_engines = max(self._peak_engines, len(self._live))
                     engines_now = len(self._live)
                 self._events.append(
                     ScaleEvent(
@@ -610,32 +735,8 @@ class AutoscalingEnginePool(ServingEnginePool):
         if replace_error is not None:
             raise replace_error
 
-    def _redispatch(self, dead_index: int, request) -> None:
-        attempts = 0
-        while True:
-            with self._lock:
-                live = list(self._live)
-            if not live or attempts > len(live):
-                request.pending._finish(
-                    error=EngineDied(
-                        f"engine {dead_index} died and its request could "
-                        "not be re-dispatched (no live engine accepted it)"
-                    )
-                )
-                return
-            with self._lock:
-                if not self._live:
-                    continue
-                slot = self._live[self._next % len(self._live)]
-                self._next += 1
-            try:
-                slot.engine.adopt(request)
-            except EngineClosed:
-                attempts += 1
-                continue
-            request.pending.engine_index = slot.index
-            self._counters["redispatched"] += 1
-            return
+    def _note_redispatch(self) -> None:
+        self._counters["redispatched"] += 1
 
     def chaos_kill(self, engine_index: Optional[int] = None) -> int:
         """Kill a live engine's worker abruptly; returns its index.
@@ -673,7 +774,6 @@ class AutoscalingEnginePool(ServingEnginePool):
             slot = self._add_engine_locked(lease.model, lease)
             with self._lock:
                 engines_now = len(self._live)
-                self._peak_engines = max(self._peak_engines, engines_now)
             self._counters["ups"] += 1
             self._events.append(
                 ScaleEvent(now - self._born_s, "up", engines_now, depth, slot.index)
@@ -703,10 +803,19 @@ class AutoscalingEnginePool(ServingEnginePool):
     def scale_events(self) -> List[ScaleEvent]:
         return list(self._events)
 
-    @property
-    def peak_engines(self) -> int:
-        with self._lock:
-            return self._peak_engines
+    def describe_scaling(self) -> Dict[str, object]:
+        """The replay payload's autoscale section (see base class)."""
+        stats = self.stats
+        return {
+            "enabled": True,
+            "policy": self.policy.to_dict(),
+            "scale_ups": stats.scale_ups,
+            "scale_downs": stats.scale_downs,
+            "engine_deaths": stats.engine_deaths,
+            "redispatched": stats.redispatched,
+            "events": [event.to_dict() for event in self.scale_events()],
+            "engine_lifetimes_s": self.engine_lifetimes_s(),
+        }
 
     @property
     def stats(self) -> ServeStats:

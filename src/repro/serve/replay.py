@@ -303,16 +303,17 @@ def replay_trace(
     service time come from the engines' own timestamps.
 
     ``chaos_kill_at_s`` arms a timer that kills one live engine's
-    worker mid-replay (autoscaled sessions only — the supervisor is
-    what turns a death into recovery). Every request still completes
-    bit-exact or raises; nothing is silently dropped.
+    worker mid-replay (supervised sessions only — pools whose
+    ``supports_chaos`` says a supervisor turns a death into recovery).
+    Every request still completes bit-exact or raises; nothing is
+    silently dropped.
 
     The returned payload reports p50/p95/p99 latency, queue-wait vs
     service time, SLO attainment against ``slo_ms``, and — for
-    autoscaled sessions — scale events and engine lifetimes.
+    supervised sessions — scale events and engine lifetimes, all read
+    through the :class:`~repro.serve.pool.EnginePool` interface (no
+    pool-class branching here).
     """
-    from repro.serve.pool import AutoscalingEnginePool
-
     inputs = np.asarray(images, dtype=session.input_dtype)
     if len(inputs) == 0:
         raise ValueError("no images to replay")
@@ -323,15 +324,15 @@ def replay_trace(
     row_request = np.repeat(np.arange(n), sizes)
 
     pool = session.pool
-    autoscaled = isinstance(pool, AutoscalingEnginePool)
     kill_timer: Optional[threading.Timer] = None
     killed: List[int] = []
     if chaos_kill_at_s is not None:
-        if not autoscaled:
+        if not pool.supports_chaos:
             raise ValueError(
-                "chaos_kill_at_s needs an autoscaled session — only the "
-                "supervisor turns an engine death into recovery; a fixed "
-                "pool would just fail the stranded requests"
+                "chaos_kill_at_s needs a supervised session (autoscaled "
+                "or process-backed) — only a supervisor turns an engine "
+                "death into recovery; a fixed pool would just fail the "
+                "stranded requests"
             )
         kill_timer = threading.Timer(
             chaos_kill_at_s, lambda: killed.append(pool.chaos_kill())
@@ -417,22 +418,11 @@ def replay_trace(
         "engines": {
             "start": int(engines_start),
             "final": len(session.engines),
-            "peak": int(pool.peak_engines) if autoscaled else int(engines_start),
+            "peak": int(pool.peak_engines),
         },
     }
-    payload["autoscale"] = {"enabled": False}
-    if autoscaled:
-        stats = pool.stats
-        payload["autoscale"] = {
-            "enabled": True,
-            "policy": pool.policy.to_dict(),
-            "scale_ups": stats.scale_ups,
-            "scale_downs": stats.scale_downs,
-            "engine_deaths": stats.engine_deaths,
-            "redispatched": stats.redispatched,
-            "events": [event.to_dict() for event in pool.scale_events()],
-            "engine_lifetimes_s": pool.engine_lifetimes_s(),
-        }
+    scaling = pool.describe_scaling()
+    payload["autoscale"] = {"enabled": False} if scaling is None else scaling
     if chaos_kill_at_s is not None:
         payload["chaos"] = {
             "kill_at_s": float(chaos_kill_at_s),
@@ -556,6 +546,8 @@ def run_point(
     chaos: bool = False,
     compare_sequential: bool = True,
     backend: str = "float",
+    pool: str = "thread",
+    workers: int = 2,
 ) -> Dict[str, object]:
     """One serving-benchmark grid point (a runner-unit target).
 
@@ -576,13 +568,30 @@ def run_point(
     (``"float"`` or ``"integer"``) for every replay — including the
     sequential baseline — and integer replays additionally pass the
     rescale-bound check of :func:`verify_replay`.
+
+    ``pool="process"`` serves the batched replay from ``workers``
+    worker processes over one shared-memory artifact
+    (:class:`~repro.serve.procpool.ProcessEnginePool`) instead of
+    thread engines; parity verification is unchanged — the parent's
+    lease twins replay the worker-served batches bit-exactly. Process
+    pools are supervised, so ``chaos`` works with either ``autoscale``
+    or ``pool="process"``. The sequential baseline always runs
+    in-process (single thread engine) — it is the *batching* control,
+    not the transport control.
     """
     from repro.experiments.presets import get_dataset
 
-    if chaos and not autoscale:
+    if pool not in ("thread", "process"):
+        raise ValueError(f"unknown pool kind {pool!r}; expected 'thread' or 'process'")
+    if pool == "process" and autoscale:
         raise ValueError(
-            "chaos=True needs autoscale=True — the pool supervisor is what "
-            "recovers a killed engine"
+            "process pools are supervised but not autoscaled; pick "
+            "pool='process' or autoscale=True, not both"
+        )
+    if chaos and not autoscale and pool != "process":
+        raise ValueError(
+            "chaos=True needs a supervised pool (autoscale=True or "
+            "pool='process') — the supervisor is what recovers a killed worker"
         )
     artifact = build_uniform_artifact(
         model=model, dataset=dataset, scale=scale, seed=seed, bits=bits
@@ -606,6 +615,7 @@ def run_point(
         engines: int,
         policy: Optional[AutoscalePolicy] = None,
         kill_at: Optional[float] = None,
+        pool_kind: str = "thread",
     ) -> Dict[str, object]:
         session = ServingSession(
             artifact,
@@ -613,9 +623,11 @@ def run_point(
                 batch_window_s=window_s,
                 max_batch_size=batch_cap,
                 record_batches=True,
-                engines=1 if policy is not None else engines,
+                engines=1 if policy is not None or pool_kind == "process" else engines,
                 autoscale=policy,
                 backend=backend,
+                pool=pool_kind,
+                workers=int(workers),
             ),
         )
         try:
@@ -644,6 +656,7 @@ def run_point(
         int(pool_size),
         policy=policy,
         kill_at=kill_at_s,
+        pool_kind=pool,
     )
     payload: Dict[str, object] = {
         "model": model,
@@ -658,6 +671,8 @@ def run_point(
         "autoscale": bool(autoscale),
         "max_engines": int(max_engines),
         "chaos": bool(chaos),
+        "pool": pool,
+        "workers": int(workers),
         "artifact_nbytes": int(artifact.nbytes),
         "payload_nbytes": int(artifact.payload_nbytes),
         "sidecar_nbytes": int(artifact.sidecar_nbytes),
@@ -680,6 +695,10 @@ def render(payload: Dict[str, object]) -> str:
         pool_note = (
             f", autoscale {payload['pool_size']}..{payload['max_engines']}"
             + (", chaos" if payload.get("chaos") else "")
+        )
+    if payload.get("pool", "thread") == "process":
+        pool_note = f", {payload['workers']} worker processes" + (
+            ", chaos" if payload.get("chaos") else ""
         )
     if payload.get("backend", "float") != "float":
         pool_note += f", {payload['backend']} backend"

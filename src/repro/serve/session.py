@@ -1,13 +1,17 @@
 """Synchronous serving facade suitable for embedding.
 
 :class:`ServingSession` wires an artifact (path, parsed
-:class:`~repro.serve.artifact.ServingArtifact`, or bare model) to a
-:class:`~repro.serve.pool.ServingEnginePool` of one or more
-:class:`~repro.serve.engine.InferenceEngine` instances
-(``ServeConfig.engines``) and exposes the blocking calls an
-application wants: ``predict`` / ``predict_batch`` /
-``predict_labels``, ``warmup``, graceful ``drain``/``close`` and a
-context-manager protocol.
+:class:`~repro.serve.artifact.ServingArtifact`, or bare model) to an
+:class:`~repro.serve.pool.EnginePool` — thread-backed
+(``ServeConfig.engines`` :class:`~repro.serve.engine.InferenceEngine`
+instances, optionally autoscaled) or process-backed
+(``ServeConfig.pool = "process"``,
+:class:`~repro.serve.procpool.ProcessEnginePool`) — and exposes the
+blocking calls an application wants: ``predict`` / ``predict_batch``
+/ ``predict_labels``, ``warmup``, graceful ``drain``/``close`` and a
+context-manager protocol. The session consumes the pool purely
+through the :class:`~repro.serve.pool.EnginePool` interface, so the
+choice of transport never branches session code.
 
 Path sources go through the content-hash artifact cache's
 **copy-on-lease** protocol: each engine gets a private clone of the
@@ -47,8 +51,10 @@ from repro.serve.engine import (
 from repro.serve.pool import (
     AutoscalePolicy,
     AutoscalingEnginePool,
+    EnginePool,
     ServingEnginePool,
 )
+from repro.serve.procpool import ProcessEnginePool
 
 
 @dataclass
@@ -79,6 +85,16 @@ class ServeConfig:
     ``ServeStats.rejected``) instead of growing the queue — the
     load-shedding contract the gateway maps to HTTP 429. ``None``
     (default) keeps the queue unbounded.
+
+    ``pool`` picks where engines run: ``"thread"`` (default) serves
+    in-process worker threads; ``"process"`` stands up a
+    :class:`~repro.serve.procpool.ProcessEnginePool` of ``workers``
+    worker processes mapping one shared-memory copy of the artifact —
+    true parallel forwards instead of GIL-shared ones. Process
+    sessions need an artifact (or path) source, take their fan-out
+    from ``workers`` (leave ``engines`` at 1), and are supervised
+    (worker deaths recover) but not autoscaled — ``autoscale`` and
+    ``pool="process"`` are mutually exclusive.
     """
 
     batch_window_s: float = 0.002
@@ -89,6 +105,8 @@ class ServeConfig:
     autoscale: Optional[AutoscalePolicy] = None
     backend: str = "float"
     max_pending: Optional[int] = None
+    pool: str = "thread"
+    workers: int = 2
 
 
 class ServingSession:
@@ -115,6 +133,15 @@ class ServingSession:
                 f"unknown serving backend {config.backend!r}; "
                 "expected 'float' or 'integer'"
             )
+        if config.pool not in ("thread", "process"):
+            raise ValueError(
+                f"unknown pool kind {config.pool!r}; expected 'thread' or 'process'"
+            )
+        if config.pool == "process" and config.autoscale is not None:
+            raise ValueError(
+                "process pools are supervised but not autoscaled; pick "
+                "pool='process' or autoscale=, not both"
+            )
         self.config = config
         self._closed = False
         """Set once a close() sweep has fully succeeded — later calls
@@ -124,7 +151,42 @@ class ServingSession:
         # pool up must return the claims, or the cache entry would stay
         # pinned (and the refcount inflated) for the process lifetime.
         try:
-            if config.autoscale is not None:
+            if config.pool == "process":
+                if config.engines != 1:
+                    raise ValueError(
+                        "process sessions take their fan-out from "
+                        "ServeConfig.workers; leave engines at 1"
+                    )
+                if isinstance(source, (str, Path)):
+                    cache = cache if cache is not None else DEFAULT_CACHE
+                    self.artifact = cache.load(source)
+                elif isinstance(source, ServingArtifact):
+                    self.artifact = source
+                    if cache is None:
+                        # A private cache: the pool's lease/release
+                        # accounting still balances, without polluting
+                        # the process-wide cache with ad-hoc artifacts.
+                        cache = ArtifactCache()
+                else:
+                    raise ValueError(
+                        "a process session cannot serve a bare model — "
+                        "workers map the serialized artifact; serve an "
+                        "artifact (or path) source"
+                    )
+                # The pool owns its leases (worker replacement creates
+                # and releases them); the session holds none of its own.
+                self._pool = ProcessEnginePool(
+                    self.artifact,
+                    cache,
+                    workers=config.workers,
+                    batch_window_s=config.batch_window_s,
+                    max_batch_size=config.max_batch_size,
+                    record_batches=config.record_batches,
+                    autostart=config.autostart,
+                    backend=config.backend,
+                    max_pending=config.max_pending,
+                )
+            elif config.autoscale is not None:
                 if config.engines != 1:
                     raise ValueError(
                         "autoscaled sessions take their engine bounds from "
@@ -203,7 +265,7 @@ class ServingSession:
                     f"source must be a path, ServingArtifact or Module, "
                     f"got {type(source)}"
                 )
-            if config.autoscale is None:
+            if config.pool != "process" and config.autoscale is None:
                 self._pool = ServingEnginePool(
                     models,
                     batch_window_s=config.batch_window_s,
@@ -226,7 +288,7 @@ class ServingSession:
 
     # ------------------------------------------------------------------
     @property
-    def pool(self) -> ServingEnginePool:
+    def pool(self) -> EnginePool:
         return self._pool
 
     @property

@@ -286,6 +286,69 @@ def test_thread_lifecycle_suppression_honored():
     assert findings == [] and suppressed == 1
 
 
+def test_unjoined_process_flagged():
+    direct = (
+        "import multiprocessing\n"
+        "def leak(fn):\n"
+        "    multiprocessing.Process(target=fn).start()\n"
+    )
+    via_context = (
+        "import multiprocessing\n"
+        "def leak(fn):\n"
+        "    ctx = multiprocessing.get_context('fork')\n"
+        "    ctx.Process(target=fn).start()\n"
+    )
+    for source in (direct, via_context):
+        assert rules_fired(LIB, source) == ["thread-lifecycle"]
+
+
+def test_daemon_or_joined_processes_pass():
+    daemon = (
+        "import multiprocessing\n"
+        "def ok(fn):\n"
+        "    ctx = multiprocessing.get_context('fork')\n"
+        "    ctx.Process(target=fn, daemon=True).start()\n"
+    )
+    joined = (
+        "import multiprocessing\n"
+        "def ok(fn):\n"
+        "    p = multiprocessing.Process(target=fn)\n"
+        "    p.start()\n"
+        "    p.join()\n"
+    )
+    sibling_join = (
+        "import multiprocessing\n"
+        "class Pool:\n"
+        "    def spawn(self, fn):\n"
+        "        self._p = multiprocessing.get_context('fork').Process(target=fn)\n"
+        "        self._p.start()\n"
+        "    def close(self):\n"
+        "        self._p.join()\n"
+    )
+    for source in (daemon, joined, sibling_join):
+        assert rules_fired(LIB, source) == []
+
+
+def test_raw_os_fork_flagged():
+    source = (
+        "import os\n"
+        "def split():\n"
+        "    pid = os.fork()\n"
+        "    return pid\n"
+    )
+    assert rules_fired(LIB, source) == ["thread-lifecycle"]
+    # join() nearby does not excuse os.fork — it is flagged
+    # unconditionally, unlike Thread/Process constructions.
+    joined = (
+        "import os\n"
+        "def split(worker):\n"
+        "    pid = os.fork()\n"
+        "    worker.join()\n"
+        "    return pid\n"
+    )
+    assert rules_fired(LIB, joined) == ["thread-lifecycle"]
+
+
 # ----------------------------------------------------------------------
 # bare-except
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.serve import (
     compile_artifact,
     load_artifact,
     load_artifact_bytes,
+    map_artifact_file,
     save_artifact,
     serialize_artifact,
 )
@@ -370,6 +371,68 @@ class TestVerifyExportStrict:
         assert compile_artifact(model, manifest, verify=False) is not None
 
 
+class TestZeroCopyLoad:
+    """load_artifact_bytes over memoryviews: parse in place, account
+    the bytes as shared; plain bytes stay private without a copy."""
+
+    def test_bytes_are_kept_without_copy_and_private(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        artifact = load_artifact_bytes(data)
+        assert artifact.data is data  # no defensive copy
+        assert artifact.shared_nbytes == 0
+        assert artifact.private_nbytes == artifact.nbytes == len(data)
+
+    def test_memoryview_parses_in_place_as_shared(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        view = memoryview(data)
+        artifact = load_artifact_bytes(view)
+        assert isinstance(artifact.data, memoryview)
+        assert artifact.data.obj is data  # same buffer, zero-copy
+        assert artifact.shared_nbytes == artifact.nbytes == len(data)
+        assert artifact.private_nbytes == 0
+        # Identical bytes => identical content identity either way.
+        assert artifact.content_key == load_artifact_bytes(data).content_key
+
+    def test_bytearray_is_snapshotted(self, quantized_mlp):
+        model, manifest = quantized_mlp
+        data = serialize_artifact(model, manifest)
+        mutable = bytearray(data)
+        artifact = load_artifact_bytes(mutable)
+        key = artifact.content_key
+        mutable[len(mutable) // 2] ^= 0xFF  # cannot drift the parsed copy
+        assert artifact.content_key == key
+        assert bytes(artifact.data) == data
+
+    def test_mmap_load_shares_the_file_mapping(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        mapped = load_artifact(path, mmap_mode=True)
+        copied = load_artifact(path)
+        assert mapped.content_key == copied.content_key
+        assert mapped.shared_nbytes == mapped.nbytes
+        assert copied.shared_nbytes == 0
+        # Bit-exact forwards out of the mapping.
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float64))
+        with no_grad():
+            np.testing.assert_array_equal(
+                mapped.model()(x).data, copied.model()(x).data
+            )
+
+    def test_map_artifact_file_view_is_readonly(self, quantized_mlp, tmp_path):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        view = map_artifact_file(path)
+        try:
+            assert view.readonly
+            assert bytes(view) == path.read_bytes()
+        finally:
+            view.release()
+
+
 class TestArtifactCache:
     def test_hits_are_free_and_shared(self, quantized_mlp, tmp_path):
         model, manifest = quantized_mlp
@@ -454,6 +517,20 @@ class TestArtifactCache:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             ArtifactCache(capacity=0)
+
+    def test_summary_splits_shared_and_private_bytes(
+        self, quantized_mlp, tmp_path
+    ):
+        model, manifest = quantized_mlp
+        path = tmp_path / "model.cqw"
+        save_artifact(path, model, manifest)
+        cache = ArtifactCache()
+        private = cache.load(path)
+        assert f"0 shared / {private.nbytes} private bytes" in cache.stats.summary()
+        cache.clear()
+        shared = cache.load(path, mmap_mode=True)
+        assert shared.shared_nbytes == shared.nbytes
+        assert f"{shared.nbytes} shared / 0 private bytes" in cache.stats.summary()
 
     def test_clear(self, quantized_mlp):
         model, manifest = quantized_mlp
